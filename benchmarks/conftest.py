@@ -1,0 +1,31 @@
+"""Benchmark-harness plumbing.
+
+Every benchmark regenerates one paper artifact and saves its rendered
+ASCII output under ``benchmarks/results/`` (also echoed to stdout; run
+with ``-s`` to see it live).  ``pytest benchmarks/ --benchmark-only``
+reproduces the full evaluation.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def save_artifact(results_dir):
+    """Persist (and print) a rendered experiment artifact."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

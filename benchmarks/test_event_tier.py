@@ -1,0 +1,45 @@
+"""Bench E — event-tier end-to-end runs (kernel throughput).
+
+Not a paper artifact: measures the faithful per-message simulator
+itself — a full OddCI-DTV job cycle and a generic-plane job cycle — so
+regressions in the protocol stack show up as benchmark deltas.
+"""
+
+from repro.core import OddCISystem
+from repro.dtv_oddci import OddCIDTVSystem
+from repro.net.message import MEGABYTE, bits_from_bytes
+from repro.workloads import uniform_bag
+
+
+def run_generic_cycle(n_pnas: int = 20, n_tasks: int = 100) -> float:
+    system = OddCISystem(seed=1, maintenance_interval_s=60.0)
+    system.add_pnas(n_pnas, heartbeat_interval_s=30.0,
+                    dve_poll_interval_s=10.0)
+    job = uniform_bag(n_tasks, image_bits=MEGABYTE, input_bits=4096,
+                      ref_seconds=5.0, result_bits=4096)
+    submission = system.provider.submit_job(job, target_size=n_pnas)
+    report = system.provider.run_job_to_completion(submission, limit_s=1e7)
+    return report.makespan
+
+
+def run_dtv_cycle(n_receivers: int = 8, n_tasks: int = 24) -> float:
+    system = OddCIDTVSystem(seed=1, maintenance_interval_s=120.0,
+                            pna_xlet_bits=bits_from_bytes(64 * 1024))
+    system.add_receivers(n_receivers, heartbeat_interval_s=60.0,
+                         dve_poll_interval_s=10.0)
+    system.sim.run(until=30.0)
+    job = uniform_bag(n_tasks, image_bits=MEGABYTE, ref_seconds=2.0)
+    submission = system.provider.submit_job(job, target_size=n_receivers,
+                                            heartbeat_interval_s=60.0)
+    report = system.provider.run_job_to_completion(submission, limit_s=1e7)
+    return report.makespan
+
+
+def test_event_tier_generic_cycle(benchmark):
+    makespan = benchmark(run_generic_cycle)
+    assert makespan > 0
+
+
+def test_event_tier_dtv_cycle(benchmark):
+    makespan = benchmark(run_dtv_cycle)
+    assert makespan > 0

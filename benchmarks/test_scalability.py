@@ -1,0 +1,20 @@
+"""Bench S — requirement I: fleets from 10³ to 10⁶ receivers.
+
+Paper expectation: the wakeup process (one broadcast) costs the same
+regardless of fleet size; efficiency stays flat as N grows when n/N is
+held constant.
+"""
+
+from repro.experiments import render_scalability, run_scalability
+
+
+def test_scalability(benchmark, save_artifact):
+    records = benchmark.pedantic(
+        run_scalability,
+        kwargs={'scales': (1_000, 10_000, 100_000, 1_000_000), 'seed': 0},
+        rounds=1, iterations=1)
+    ws = [r["wakeup_mean_s"] for r in records]
+    assert max(ws) - min(ws) < 0.05 * max(ws)
+    es = [r["efficiency"] for r in records]
+    assert max(es) - min(es) < 0.15
+    save_artifact("scalability", render_scalability(records))

@@ -1,0 +1,17 @@
+"""Bench T1 — regenerates Table I (requirements × technologies).
+
+Paper expectation: each requirement is met by at least one incumbent,
+but only OddCI meets all three.
+"""
+
+from repro.experiments import render_table1, run_table1
+
+
+def test_table1_requirements(benchmark, save_artifact):
+    result = benchmark(run_table1)
+    matrix = result["matrix"]
+    assert all(matrix["oddci"].values())
+    assert not all(matrix["iaas"].values())
+    assert not all(matrix["desktop-grid"].values())
+    assert not all(matrix["voluntary-computing"].values())
+    save_artifact("table1_requirements", render_table1(result))

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Elasticity: concurrent instances, resizing, churn and recomposition.
+
+Demonstrates the management features of Section 3.2:
+
+* two OddCI instances sharing one broadcast channel and PNA population;
+* growing and shrinking an instance (trim via heartbeat replies);
+* receivers churning off at their owners' will, the Controller
+  detecting the loss through missed heartbeats and re-broadcasting
+  wakeups to recompose the instance.
+
+Run:  python examples/elastic_instances.py
+"""
+
+from repro.core import OddCISystem, PNAState
+from repro.net.message import MEGABYTE
+from repro.workloads import uniform_bag
+
+
+def fleet_report(system: OddCISystem, label: str) -> None:
+    busy = system.busy_count()
+    online = sum(1 for p in system.pnas if p.online)
+    print(f"[t={system.sim.now:8.1f}s] {label}: "
+          f"{busy} busy / {online} online / {len(system.pnas)} total")
+
+
+def main() -> None:
+    system = OddCISystem(beta_bps=2_000_000.0, maintenance_interval_s=20.0,
+                         seed=99)
+    system.add_pnas(30, heartbeat_interval_s=10.0, dve_poll_interval_s=5.0)
+
+    # Two long-running applications share the population.
+    job_a = uniform_bag(100_000, image_bits=4 * MEGABYTE, ref_seconds=120.0,
+                        name="weather-ensemble")
+    job_b = uniform_bag(100_000, image_bits=2 * MEGABYTE, ref_seconds=60.0,
+                        name="render-farm")
+    sub_a = system.provider.submit_job(job_a, target_size=12,
+                                       heartbeat_interval_s=10.0,
+                                       release_on_completion=False)
+    system.sim.run(until=120.0)
+    sub_b = system.provider.submit_job(job_b, target_size=10,
+                                       heartbeat_interval_s=10.0,
+                                       release_on_completion=False)
+    system.sim.run(until=240.0)
+    fleet_report(system, "two instances active")
+    for sub in (sub_a, sub_b):
+        print(f"    {sub.job.name}: "
+              f"{system.provider.status(sub.instance_id)}")
+
+    # Grow instance B, shrink instance A.
+    print("\nresizing: weather-ensemble 12 -> 6, render-farm 10 -> 14")
+    system.provider.resize(sub_a.instance_id, 6)
+    system.provider.resize(sub_b.instance_id, 14)
+    system.sim.run(until=600.0)
+    fleet_report(system, "after resize")
+    for sub in (sub_a, sub_b):
+        record = system.controller.instance(sub.instance_id)
+        print(f"    {sub.job.name}: size={record.size} "
+              f"target={record.spec.target_size} "
+              f"trims={record.trims_sent}")
+
+    # Owners switch off a third of the busy receivers.
+    busy = [p for p in system.pnas if p.state is PNAState.BUSY]
+    victims = busy[: len(busy) // 3]
+    print(f"\nchurn: {len(victims)} receivers switched off by their owners")
+    for p in victims:
+        p.shutdown()
+    fleet_report(system, "right after churn")
+
+    # The controller notices missing heartbeats and recomposes.
+    system.sim.run(until=1200.0)
+    fleet_report(system, "after recomposition")
+    for sub in (sub_a, sub_b):
+        record = system.controller.instance(sub.instance_id)
+        print(f"    {sub.job.name}: size={record.size} "
+              f"target={record.spec.target_size} "
+              f"wakeups_sent={record.wakeups_sent}")
+
+    # Dismantle everything.
+    system.provider.release(sub_a.instance_id)
+    system.provider.release(sub_b.instance_id)
+    system.sim.run(until=1400.0)
+    fleet_report(system, "after dismantle")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Legacy installer shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so
+environments without the ``wheel`` package (which PEP 660 editable
+installs require) can still do::
+
+    pip install -e . --no-use-pep517
+
+or ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

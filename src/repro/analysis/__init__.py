@@ -1,0 +1,66 @@
+"""Analytical models, statistics, sweeps and report rendering.
+
+* :mod:`~repro.analysis.models` — W, M̄, E, Φ (Section 5 equations,
+  with the Φ erratum correction documented in DESIGN.md).
+* :mod:`~repro.analysis.stats` — Student-t confidence intervals (the
+  paper's 20.6× ± 10% @ 90% methodology).
+* :mod:`~repro.analysis.sweep` — parameter-grid execution.
+* :mod:`~repro.analysis.report` — ASCII tables/series for benchmarks.
+"""
+
+from repro.analysis.models import (
+    OddCIParameters,
+    efficiency_model,
+    makespan_model,
+    p_from_phi,
+    phi,
+    throughput_ideal,
+    throughput_single,
+    wakeup_time,
+)
+from repro.analysis.report import (
+    format_seconds,
+    format_si,
+    render_records,
+    render_series,
+    render_table,
+)
+from repro.analysis.stats import (
+    ConfidenceInterval,
+    mean_confidence_interval,
+    ratio_with_error,
+    relative_error,
+)
+from repro.analysis.sweep import grid_points, sweep
+from repro.analysis.validation import (
+    SeriesComparison,
+    compare_series,
+    crossing_point,
+    is_monotone,
+)
+
+__all__ = [
+    "OddCIParameters",
+    "wakeup_time",
+    "makespan_model",
+    "efficiency_model",
+    "phi",
+    "p_from_phi",
+    "throughput_single",
+    "throughput_ideal",
+    "ConfidenceInterval",
+    "mean_confidence_interval",
+    "ratio_with_error",
+    "relative_error",
+    "sweep",
+    "grid_points",
+    "SeriesComparison",
+    "compare_series",
+    "is_monotone",
+    "crossing_point",
+    "render_table",
+    "render_records",
+    "render_series",
+    "format_seconds",
+    "format_si",
+]

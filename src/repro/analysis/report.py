@@ -1,0 +1,130 @@
+"""Plain-text rendering of tables and series.
+
+The benchmark harness prints the paper's tables and figure series as
+aligned ASCII so ``pytest benchmarks/ --benchmark-only`` output can be
+compared against the paper directly.  No plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, List, Mapping, Optional, Sequence
+
+from repro.errors import AnalysisError
+
+__all__ = ["render_table", "render_records", "render_series",
+           "format_seconds", "format_si"]
+
+
+def format_seconds(value: float) -> str:
+    """Humanise a duration: ms / s / min / h as appropriate."""
+    if value < 0:
+        raise AnalysisError(f"negative duration {value!r}")
+    if value < 1.0:
+        return f"{value * 1000:.1f} ms"
+    if value < 120.0:
+        return f"{value:.2f} s"
+    if value < 7200.0:
+        return f"{value / 60:.1f} min"
+    return f"{value / 3600:.2f} h"
+
+
+def format_si(value: float, unit: str = "") -> str:
+    """1234567 → '1.23 M'."""
+    if value == 0:
+        return f"0 {unit}".strip()
+    magnitude = abs(value)
+    for threshold, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if magnitude >= threshold:
+            return f"{value / threshold:.2f} {suffix}{unit}".strip()
+    return f"{value:g} {unit}".strip()
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                 title: Optional[str] = None) -> str:
+    """Aligned ASCII table."""
+    headers = [str(h) for h in headers]
+    str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise AnalysisError(
+                f"row width {len(row)} != header width {len(headers)}")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_records(records: Sequence[Mapping[str, Any]],
+                   columns: Optional[Sequence[str]] = None,
+                   title: Optional[str] = None) -> str:
+    """Render sweep records (list of dicts) as a table."""
+    if not records:
+        raise AnalysisError("no records to render")
+    columns = list(columns) if columns else list(records[0])
+    rows = [[rec.get(col, "") for col in columns] for rec in records]
+    return render_table(columns, rows, title=title)
+
+
+def render_series(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    x_label: str = "x",
+    title: Optional[str] = None,
+    log_y: bool = False,
+    width: int = 40,
+) -> str:
+    """Render one or more y-series against x as a table plus a crude
+    per-series ASCII sparkline column (log-scale optional)."""
+    x = list(x)
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise AnalysisError(
+                f"series {name!r} length {len(ys)} != x length {len(x)}")
+    headers = [x_label] + list(series)
+    rows = []
+    for i, xv in enumerate(x):
+        rows.append([xv] + [series[name][i] for name in series])
+    table = render_table(headers, rows, title=title)
+
+    # sparklines
+    blocks = " .:-=+*#%@"
+    lines = [table, ""]
+    for name, ys in series.items():
+        vals = [float(v) for v in ys]
+        if log_y:
+            vals = [math.log10(v) if v > 0 else 0.0 for v in vals]
+        lo, hi = min(vals), max(vals)
+        span = hi - lo or 1.0
+        # resample to `width` columns
+        idx = [int(i * (len(vals) - 1) / max(1, width - 1))
+               for i in range(min(width, len(vals)))]
+        chars = "".join(
+            blocks[min(len(blocks) - 1,
+                       int((vals[i] - lo) / span * (len(blocks) - 1)))]
+            for i in idx)
+        lines.append(f"{name:>16} |{chars}|")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Parameter-sweep harness for the experiment drivers.
+
+``sweep`` maps a function over the cartesian product of named parameter
+lists, collecting one record per point — the backbone of the Figure 6/7
+curves and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+
+from repro.errors import AnalysisError
+
+__all__ = ["sweep", "grid_points"]
+
+Record = Dict[str, Any]
+
+
+def grid_points(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Cartesian product of a named parameter grid, as dicts.
+
+    Iteration order is deterministic: the first named parameter varies
+    slowest.
+    """
+    if not grid:
+        raise AnalysisError("empty parameter grid")
+    names = list(grid)
+    for name in names:
+        values = grid[name]
+        if not isinstance(values, (list, tuple)) or len(values) == 0:
+            raise AnalysisError(
+                f"grid entry {name!r} must be a non-empty list/tuple")
+    combos = itertools.product(*(grid[name] for name in names))
+    return [dict(zip(names, combo)) for combo in combos]
+
+
+def sweep(
+    fn: Callable[..., Mapping[str, Any]],
+    grid: Mapping[str, Sequence[Any]],
+) -> List[Record]:
+    """Run ``fn(**point)`` for every grid point.
+
+    ``fn`` must return a mapping of result fields; each output record
+    merges the point's parameters with the results (results win on key
+    collisions, which ``fn`` should avoid).
+    """
+    records: List[Record] = []
+    for point in grid_points(grid):
+        result = fn(**point)
+        if not isinstance(result, Mapping):
+            raise AnalysisError(
+                f"sweep function must return a mapping, got {type(result)}")
+        record: Record = dict(point)
+        record.update(result)
+        records.append(record)
+    return records

@@ -1,0 +1,93 @@
+"""Model-vs-simulation agreement metrics.
+
+The reproduction's credibility rests on cross-validation: analytic
+models (Section 5), the vector tier and the event tier must agree where
+their domains overlap.  These helpers quantify that agreement in one
+place so tests and EXPERIMENTS.md speak the same language.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+__all__ = ["SeriesComparison", "compare_series", "is_monotone",
+           "crossing_point"]
+
+
+@dataclass(frozen=True)
+class SeriesComparison:
+    """Pointwise agreement between a reference and a measured series."""
+
+    n: int
+    max_abs_error: float
+    max_rel_error: float
+    rmse: float
+    bias: float           # mean(measured - reference)
+
+    def within(self, rel: float) -> bool:
+        """True when every point agrees within relative tolerance."""
+        return self.max_rel_error <= rel
+
+
+def compare_series(reference: Sequence[float],
+                   measured: Sequence[float]) -> SeriesComparison:
+    """Compare two equal-length series (reference must be nonzero for
+    relative errors)."""
+    ref = np.asarray(reference, dtype=float)
+    mea = np.asarray(measured, dtype=float)
+    if ref.shape != mea.shape or ref.ndim != 1:
+        raise AnalysisError("series must be equal-length 1-D sequences")
+    if ref.size == 0:
+        raise AnalysisError("empty series")
+    if np.any(ref == 0):
+        raise AnalysisError("reference contains zeros (relative error "
+                            "undefined)")
+    diff = mea - ref
+    return SeriesComparison(
+        n=int(ref.size),
+        max_abs_error=float(np.abs(diff).max()),
+        max_rel_error=float((np.abs(diff) / np.abs(ref)).max()),
+        rmse=float(np.sqrt((diff ** 2).mean())),
+        bias=float(diff.mean()),
+    )
+
+
+def is_monotone(values: Sequence[float], *, increasing: bool = True,
+                strict: bool = False) -> bool:
+    """Check (weak or strict) monotonicity of a series."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size < 2:
+        return True
+    diffs = np.diff(arr)
+    if not increasing:
+        diffs = -diffs
+    return bool(np.all(diffs > 0)) if strict else bool(np.all(diffs >= 0))
+
+
+def crossing_point(x: Sequence[float], y: Sequence[float],
+                   threshold: float) -> float:
+    """First x at which y crosses ``threshold`` (linear interpolation).
+
+    Used for statements like "n/N above 100 is generally enough": the
+    Φ at which efficiency crosses 0.9.  Raises if y never crosses.
+    """
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if xs.shape != ys.shape or xs.ndim != 1 or xs.size < 2:
+        raise AnalysisError("need equal-length 1-D series of >= 2 points")
+    above = ys >= threshold
+    if above[0]:
+        return float(xs[0])
+    idx = np.argmax(above)
+    if not above[idx]:
+        raise AnalysisError(f"series never reaches {threshold}")
+    x0, x1 = xs[idx - 1], xs[idx]
+    y0, y1 = ys[idx - 1], ys[idx]
+    if y1 == y0:  # pragma: no cover - degenerate plateau
+        return float(x1)
+    return float(x0 + (threshold - y0) * (x1 - x0) / (y1 - y0))

@@ -1,0 +1,34 @@
+"""Comparator DCI models used to reproduce Table I.
+
+* :class:`~repro.baselines.voluntary.VoluntaryComputing` — BOINC-style.
+* :class:`~repro.baselines.desktop_grid.DesktopGrid` — Condor-style.
+* :class:`~repro.baselines.iaas.IaaSProvider` — EC2-style.
+* :class:`~repro.baselines.oddci_model.OddCIModel` — the proposal, in
+  the same interface.
+* :func:`~repro.baselines.base.evaluate_requirements` — threshold-based
+  ✓/✗ derivation.
+"""
+
+from repro.baselines.base import (
+    DCIModel,
+    ProvisionResult,
+    REQUIREMENTS,
+    RequirementThresholds,
+    evaluate_requirements,
+)
+from repro.baselines.desktop_grid import DesktopGrid
+from repro.baselines.iaas import IaaSProvider
+from repro.baselines.oddci_model import OddCIModel
+from repro.baselines.voluntary import VoluntaryComputing
+
+__all__ = [
+    "DCIModel",
+    "ProvisionResult",
+    "RequirementThresholds",
+    "REQUIREMENTS",
+    "evaluate_requirements",
+    "VoluntaryComputing",
+    "DesktopGrid",
+    "IaaSProvider",
+    "OddCIModel",
+]

@@ -1,0 +1,62 @@
+"""OddCI expressed in the comparator interface.
+
+Used by the Table I experiment so the proposed architecture is judged by
+exactly the same thresholds as the incumbents.  The numbers come from
+the Section 5 models: wakeup W = 1.5·I/β regardless of fleet size — the
+whole point of broadcast staging — and the reachable population is the
+broadcast network's audience (hundreds of millions of receivers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BaselineError
+from repro.analysis.models import wakeup_time
+from repro.baselines.base import DCIModel, ProvisionResult
+from repro.net.message import MEGABYTE
+
+__all__ = ["OddCIModel"]
+
+
+@dataclass
+class OddCIModel(DCIModel):
+    """OddCI over a broadcast network with audience ``population``.
+
+    Provisioning latency is the wakeup process: one control-message
+    image broadcast at β — **independent of n**.  ``control_image_bits``
+    is the PNA/trigger payload staged during provisioning (the
+    application image itself is charged in :meth:`staging_time`).
+    """
+
+    population: int = 100_000_000
+    beta_bps: float = 1_000_000.0
+    control_image_bits: float = 1 * MEGABYTE
+
+    name: str = "oddci"
+    programmatic_lifecycle: bool = True
+
+    def __post_init__(self) -> None:
+        if self.population <= 0:
+            raise BaselineError("population must be > 0")
+        if self.beta_bps <= 0:
+            raise BaselineError("beta_bps must be > 0")
+        self.max_scale = self.population
+
+    def provision(self, n: int) -> ProvisionResult:
+        if n <= 0:
+            raise BaselineError("n must be > 0")
+        acquired = min(n, self.population)
+        ready = wakeup_time(self.control_image_bits, self.beta_bps)
+        notes = "single broadcast wakeup (size-independent)"
+        if acquired < n:
+            notes = f"audience-capped at {self.population}"
+        return ProvisionResult(
+            requested=n, acquired=acquired, ready_time_s=ready,
+            per_node_manual_effort=False, notes=notes)
+
+    def staging_time(self, image_bits: float, n_nodes: int) -> float:
+        """One broadcast serves every node simultaneously."""
+        if image_bits <= 0 or n_nodes <= 0:
+            raise BaselineError("bad staging parameters")
+        return wakeup_time(image_bits, self.beta_bps)

@@ -1,0 +1,32 @@
+"""DSM-CC object-carousel substrate.
+
+* :class:`~repro.carousel.objects.CarouselFile` — versioned files.
+* :class:`~repro.carousel.dsmcc.SectionFormat` — encapsulation overhead.
+* :class:`~repro.carousel.carousel.CarouselSchedule` — analytic timetable
+  (vectorised completion-time queries).
+* :class:`~repro.carousel.carousel.ObjectCarousel` — event-driven cyclic
+  transmitter with versioned updates.
+* :func:`~repro.carousel.reader.sample_wakeup_latencies` — population
+  sampling for millions of receivers.
+"""
+
+from repro.carousel.carousel import READ_POLICIES, CarouselSchedule, ObjectCarousel
+from repro.carousel.dsmcc import DEFAULT_SECTION_FORMAT, SectionFormat
+from repro.carousel.objects import CarouselFile
+from repro.carousel.reader import (
+    WakeupSample,
+    sample_read_times,
+    sample_wakeup_latencies,
+)
+
+__all__ = [
+    "CarouselFile",
+    "SectionFormat",
+    "DEFAULT_SECTION_FORMAT",
+    "CarouselSchedule",
+    "ObjectCarousel",
+    "READ_POLICIES",
+    "WakeupSample",
+    "sample_read_times",
+    "sample_wakeup_latencies",
+]

@@ -1,0 +1,294 @@
+"""Backend: per-application task scheduling and result collection.
+
+The Backend (paper Section 3.1) manages the activities specific to one
+running application: handing tasks to PNAs that ask for work (pull
+scheduling, as in voluntary computing), staging task inputs over the
+direct channels, collecting results, and declaring the job done.
+
+Fault tolerance: assignments carry a lease; a lease that expires (PNA
+switched off mid-task, message lost) puts the task back in the bag.
+Completed duplicates are deduplicated.  The makespan — the paper's key
+metric — is measured from job submission to the arrival of the last
+result at the Backend.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional
+
+from repro.errors import BackendError
+from repro.core.dve import CONTROL_PAYLOAD_BITS
+from repro.core.messages import (
+    NoWork,
+    TaskAssignment,
+    TaskRequest,
+    TaskResultPayload,
+)
+from repro.core.network import Router
+from repro.net.message import Message
+from repro.sim.core import Event, Simulator
+from repro.sim.process import Interrupt
+from repro.workloads.job import Job, Task
+
+__all__ = ["Backend", "JobReport"]
+
+
+@dataclass(frozen=True)
+class JobReport:
+    """Final accounting of a completed job."""
+
+    job_id: int
+    n_tasks: int
+    submitted_at: float
+    completed_at: float
+    tasks_assigned: int
+    duplicates: int
+    requeues: int
+    distinct_workers: int
+    replicas_issued: int = 0
+
+    @property
+    def makespan(self) -> float:
+        """Last completion time minus submission time (paper footnote 1)."""
+        return self.completed_at - self.submitted_at
+
+
+class _Assignment:
+    __slots__ = ("task", "pna_id", "assigned_at", "lease_deadline")
+
+    def __init__(self, task: Task, pna_id: str, assigned_at: float,
+                 lease_deadline: Optional[float]):
+        self.task = task
+        self.pna_id = pna_id
+        self.assigned_at = assigned_at
+        self.lease_deadline = lease_deadline
+
+
+class Backend:
+    """Task server for one job.
+
+    Parameters
+    ----------
+    lease_factor:
+        Assignment lease = ``lease_factor × task.ref_seconds ×
+        worst_case_slowdown`` (plus transfer allowance); ``None``
+        disables re-queuing (no fault tolerance).
+    worst_case_slowdown:
+        Slowest device class expected in the instance — bounds how long
+        a healthy node may legitimately hold a task.
+    poll_interval_s:
+        Retry interval suggested to PNAs when the bag is momentarily
+        empty but the job is still incomplete.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        job: Job,
+        router: Router,
+        *,
+        backend_id: str = "backend",
+        lease_factor: Optional[float] = None,
+        worst_case_slowdown: float = 25.0,
+        lease_check_interval_s: float = 30.0,
+        poll_interval_s: float = 15.0,
+        replicate_tail: bool = False,
+        max_replicas: int = 2,
+        scheduling: str = "fifo",
+    ) -> None:
+        if lease_factor is not None and lease_factor <= 0:
+            raise BackendError("lease_factor must be > 0 when set")
+        if worst_case_slowdown <= 0:
+            raise BackendError("worst_case_slowdown must be > 0")
+        if poll_interval_s <= 0 or lease_check_interval_s <= 0:
+            raise BackendError("intervals must be > 0")
+        if max_replicas < 2:
+            raise BackendError("max_replicas must be >= 2 (primary + 1)")
+        if scheduling not in ("fifo", "lpt", "spt"):
+            raise BackendError(
+                f"scheduling must be 'fifo', 'lpt' or 'spt', "
+                f"got {scheduling!r}")
+        self.sim = sim
+        self.job = job
+        self.router = router
+        self.backend_id = backend_id
+        self.lease_factor = lease_factor
+        self.worst_case_slowdown = worst_case_slowdown
+        self.poll_interval_s = poll_interval_s
+        self.lease_check_interval_s = lease_check_interval_s
+
+        self.replicate_tail = replicate_tail
+        self.max_replicas = int(max_replicas)
+        self.scheduling = scheduling
+
+        self.submitted_at = sim.now
+        # Dispatch order: FIFO (submission order), LPT (longest
+        # processing time first — the classic makespan heuristic) or SPT
+        # (shortest first — fastest first results).
+        tasks = list(job.tasks)
+        if scheduling == "lpt":
+            tasks.sort(key=lambda t: -t.ref_seconds)
+        elif scheduling == "spt":
+            tasks.sort(key=lambda t: t.ref_seconds)
+        self._pending: Deque[Task] = deque(tasks)
+        self._in_flight: Dict[int, _Assignment] = {}
+        self._completed: Dict[int, float] = {}
+        self._workers: set[str] = set()
+        #: task_id -> set of workers holding a copy (primary + replicas)
+        self._holders: Dict[int, set] = {}
+        self.tasks_assigned = 0
+        self.duplicates = 0
+        self.requeues = 0
+        self.replicas_issued = 0
+        self.done_event: Event = sim.event(name=f"{backend_id}.done")
+
+        router.register_component(backend_id, self._receive)
+        self._lease_proc = None
+        if lease_factor is not None:
+            self._lease_proc = sim.process(self._lease_loop())
+
+    # -- inspection ---------------------------------------------------------
+    @property
+    def completed_count(self) -> int:
+        return len(self._completed)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def in_flight_count(self) -> int:
+        return len(self._in_flight)
+
+    @property
+    def done(self) -> bool:
+        return len(self._completed) == self.job.n
+
+    def report(self) -> JobReport:
+        if not self.done:
+            raise BackendError(
+                f"job {self.job.job_id} incomplete "
+                f"({self.completed_count}/{self.job.n})")
+        return JobReport(
+            job_id=self.job.job_id,
+            n_tasks=self.job.n,
+            submitted_at=self.submitted_at,
+            completed_at=max(self._completed.values()),
+            tasks_assigned=self.tasks_assigned,
+            duplicates=self.duplicates,
+            requeues=self.requeues,
+            distinct_workers=len(self._workers),
+            replicas_issued=self.replicas_issued,
+        )
+
+    # -- message handling ------------------------------------------------------
+    def _receive(self, msg: Message) -> None:
+        payload = msg.payload
+        if isinstance(payload, TaskRequest):
+            self._handle_request(payload)
+        elif isinstance(payload, TaskResultPayload):
+            self._handle_result(payload)
+        else:
+            raise BackendError(f"backend got unexpected payload {payload!r}")
+
+    def _handle_request(self, request: TaskRequest) -> None:
+        self._workers.add(request.pna_id)
+        task = self._next_task()
+        is_replica = False
+        if task is None and self.replicate_tail and not self.done:
+            task = self._pick_replica_candidate(request.pna_id)
+            is_replica = task is not None
+        if task is None:
+            # Bag empty: if the job is done the worker can stop; otherwise
+            # tasks are in flight and might be re-queued — poll again.
+            retry = None if self.done else self.poll_interval_s
+            reply = NoWork(instance_id=request.instance_id,
+                           retry_after_s=retry)
+            self._send(request.pna_id, reply, CONTROL_PAYLOAD_BITS)
+            return
+        if not is_replica:
+            lease = None
+            if self.lease_factor is not None:
+                lease = self.sim.now + self.lease_factor * (
+                    task.ref_seconds * self.worst_case_slowdown
+                    + self.poll_interval_s)
+            self._in_flight[task.task_id] = _Assignment(
+                task, request.pna_id, self.sim.now, lease)
+            self.tasks_assigned += 1
+        else:
+            self.replicas_issued += 1
+        self._holders.setdefault(task.task_id, set()).add(request.pna_id)
+        assignment = TaskAssignment(
+            task_id=task.task_id, ref_seconds=task.ref_seconds,
+            input_bits=task.input_bits, result_bits=task.result_bits)
+        # The assignment's wire size includes the task input being staged.
+        self._send(request.pna_id, assignment,
+                   CONTROL_PAYLOAD_BITS + task.input_bits)
+
+    def _pick_replica_candidate(self, requester: str) -> Optional[Task]:
+        """Straggler mitigation: replicate the oldest in-flight task whose
+        copy count is below ``max_replicas`` and which the requester is
+        not already computing."""
+        best: Optional[_Assignment] = None
+        for task_id, assignment in self._in_flight.items():
+            holders = self._holders.get(task_id, set())
+            if requester in holders or len(holders) >= self.max_replicas:
+                continue
+            if best is None or assignment.assigned_at < best.assigned_at:
+                best = assignment
+        return best.task if best is not None else None
+
+    def _handle_result(self, result: TaskResultPayload) -> None:
+        if result.task_id in self._completed:
+            self.duplicates += 1
+            return
+        assignment = self._in_flight.pop(result.task_id, None)
+        if assignment is None:
+            # lease expired and the task was re-queued but the original
+            # worker finished anyway: accept the result, cancel the requeue
+            for i, t in enumerate(self._pending):
+                if t.task_id == result.task_id:
+                    del self._pending[i]
+                    break
+            else:
+                self.duplicates += 1
+                return
+        self._completed[result.task_id] = self.sim.now
+        self._holders.pop(result.task_id, None)
+        if self.done and not self.done_event.triggered:
+            self.done_event.succeed(self.report())
+
+    def _next_task(self) -> Optional[Task]:
+        if self._pending:
+            return self._pending.popleft()
+        return None
+
+    def _send(self, pna_id: str, payload, payload_bits: float) -> None:
+        if not self.router.has_pna(pna_id):
+            return  # node vanished between request and reply
+        self.router.send_to_pna(self.backend_id, pna_id, payload,
+                                payload_bits)
+
+    # -- lease management ----------------------------------------------------
+    def _lease_loop(self):
+        try:
+            while not self.done:
+                yield self.lease_check_interval_s
+                now = self.sim.now
+                expired = [tid for tid, a in self._in_flight.items()
+                           if a.lease_deadline is not None
+                           and a.lease_deadline < now]
+                for tid in expired:
+                    assignment = self._in_flight.pop(tid)
+                    self._pending.append(assignment.task)
+                    self.requeues += 1
+        except Interrupt:
+            pass
+
+    def shutdown(self) -> None:
+        """Unregister from the router and stop background processes."""
+        self.router.unregister_component(self.backend_id)
+        if self._lease_proc is not None and self._lease_proc.alive:
+            self._lease_proc.interrupt("backend shutdown")

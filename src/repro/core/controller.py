@@ -1,0 +1,319 @@
+"""Controller: instance provisioning, heartbeat consolidation, upkeep.
+
+The Controller (paper Section 3.1) sets the infrastructure up as
+instructed by the Provider: it formats and signs control messages
+(wakeup/reset) and publishes them through a *control plane* — the
+broadcast-medium abstraction with a generic implementation here
+(:class:`DirectControlPlane`) and a DSM-CC carousel implementation in
+:mod:`repro.dtv_oddci`.
+
+It consolidates heartbeats into a PNA registry and per-instance
+membership, and runs a maintenance loop that:
+
+* re-broadcasts wakeups (with a policy-chosen probability) to recompose
+  instances that lost members to churn;
+* trims oversized instances by replying ``reset`` to heartbeats;
+* expires members whose heartbeats stopped;
+* dismantles instances whose lifetime elapsed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import InstanceError, OddCIError, ProvisioningError
+from repro.core.dve import CONTROL_PAYLOAD_BITS
+from repro.core.instance import (
+    InstanceRecord,
+    InstanceSpec,
+    InstanceStatus,
+    new_instance_id,
+)
+from repro.core.messages import (
+    HeartbeatPayload,
+    HeartbeatReply,
+    PNAState,
+    ResetPayload,
+    WakeupPayload,
+    sign_control,
+)
+from repro.core.network import Router
+from repro.core.policies import DeficitProportional, ProbabilityPolicy
+from repro.net.broadcast import BroadcastChannel
+from repro.net.crypto import KeyRegistry
+from repro.net.message import Message
+from repro.sim.core import Simulator
+from repro.sim.monitor import Counter, TimeSeries
+from repro.sim.process import Interrupt
+
+__all__ = ["ControlPlane", "DirectControlPlane", "Controller"]
+
+
+class ControlPlane:
+    """Broadcast-medium abstraction the Controller publishes through."""
+
+    def publish_wakeup(self, payload: WakeupPayload,
+                       signature: bytes) -> None:
+        raise NotImplementedError
+
+    def publish_reset(self, payload: ResetPayload,
+                      signature: bytes) -> None:
+        raise NotImplementedError
+
+
+class DirectControlPlane(ControlPlane):
+    """Generic OddCI plane: one broadcast message carries everything.
+
+    The wakeup message's wire size includes the application image, so
+    every subscribed PNA receives the image simultaneously, ``(I + ε)/β``
+    after transmission starts (Section 3 model).  PNAs attach themselves
+    via :meth:`attach`.
+    """
+
+    def __init__(self, channel: BroadcastChannel,
+                 sender: str = "controller") -> None:
+        self.channel = channel
+        self.sender = sender
+
+    def attach(self, pna) -> int:
+        """Subscribe a PNA; returns the unsubscribe token."""
+        def listener(msg: Message, pna=pna) -> None:
+            payload, signature = msg.payload
+            pna.deliver_control(payload, signature, fetch_image=None)
+
+        return self.channel.subscribe(listener)
+
+    def detach(self, token: int) -> None:
+        self.channel.unsubscribe(token)
+
+    def publish_wakeup(self, payload: WakeupPayload,
+                       signature: bytes) -> None:
+        self.channel.transmit(Message(
+            sender=self.sender, payload=(payload, signature),
+            payload_bits=payload.image_bits + CONTROL_PAYLOAD_BITS))
+
+    def publish_reset(self, payload: ResetPayload,
+                      signature: bytes) -> None:
+        self.channel.transmit(Message(
+            sender=self.sender, payload=(payload, signature),
+            payload_bits=CONTROL_PAYLOAD_BITS))
+
+
+class Controller:
+    """The broadcast-side brain of an OddCI deployment."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        router: Router,
+        control_plane: ControlPlane,
+        key_registry: KeyRegistry,
+        *,
+        controller_id: str = "controller",
+        probability_policy: Optional[ProbabilityPolicy] = None,
+        maintenance_interval_s: float = 60.0,
+        heartbeat_grace_factor: float = 3.0,
+    ) -> None:
+        if maintenance_interval_s <= 0:
+            raise OddCIError("maintenance_interval_s must be > 0")
+        if heartbeat_grace_factor < 1.0:
+            raise OddCIError("heartbeat_grace_factor must be >= 1")
+        self.sim = sim
+        self.router = router
+        self.control_plane = control_plane
+        self.controller_id = controller_id
+        self.key = key_registry.issue(controller_id)
+        self.probability_policy = probability_policy or DeficitProportional()
+        self.maintenance_interval_s = maintenance_interval_s
+        self.heartbeat_grace_factor = heartbeat_grace_factor
+
+        #: pna_id -> (last_seen, state, instance_id)
+        self.registry: Dict[str, Tuple[float, PNAState, Optional[str]]] = {}
+        self.instances: Dict[str, InstanceRecord] = {}
+        self._pending_trims: Dict[str, int] = {}
+        self.counters = Counter()
+        self.size_history: Dict[str, TimeSeries] = {}
+
+        router.register_component(controller_id, self._receive)
+        self._maintenance_proc = sim.process(self._maintenance_loop())
+
+    # -- provider-facing API ---------------------------------------------------
+    def create_instance(self, spec: InstanceSpec,
+                        instance_id: Optional[str] = None) -> InstanceRecord:
+        """Trigger the wakeup process for a new instance."""
+        instance_id = instance_id or new_instance_id()
+        if instance_id in self.instances:
+            raise ProvisioningError(f"instance {instance_id!r} already exists")
+        record = InstanceRecord(instance_id, spec, self.sim.now)
+        self.instances[instance_id] = record
+        self.size_history[instance_id] = TimeSeries(f"size:{instance_id}")
+        self._send_wakeup(record)
+        return record
+
+    def resize_instance(self, instance_id: str, new_target: int) -> None:
+        """Adjust an instance's target size (grow or shrink)."""
+        record = self._live_instance(instance_id)
+        if new_target <= 0:
+            raise InstanceError(f"new_target must be > 0, got {new_target}")
+        import dataclasses
+
+        record.spec = dataclasses.replace(record.spec,
+                                          target_size=new_target)
+        self.counters.incr("resizes")
+        self._rebalance(record)
+
+    def destroy_instance(self, instance_id: str) -> None:
+        """Dismantle an instance: broadcast a reset for it."""
+        record = self._live_instance(instance_id)
+        record.status = InstanceStatus.DISMANTLING
+        payload = ResetPayload(instance_id=instance_id)
+        self.control_plane.publish_reset(
+            payload, sign_control(self.key, payload))
+        record.resets_sent += 1
+        self.counters.incr("resets_broadcast")
+
+    def instance(self, instance_id: str) -> InstanceRecord:
+        try:
+            return self.instances[instance_id]
+        except KeyError:
+            raise InstanceError(f"unknown instance {instance_id!r}") from None
+
+    def _live_instance(self, instance_id: str) -> InstanceRecord:
+        record = self.instance(instance_id)
+        if record.status in (InstanceStatus.DISMANTLING,
+                             InstanceStatus.DESTROYED):
+            raise InstanceError(
+                f"instance {instance_id!r} is {record.status.value}")
+        return record
+
+    # -- consolidated knowledge ---------------------------------------------------
+    def idle_estimate(self) -> int:
+        """Idle PNAs heard from within the grace window."""
+        horizon = self.sim.now - self._grace_window()
+        return sum(1 for (seen, state, _inst) in self.registry.values()
+                   if state is PNAState.IDLE and seen >= horizon)
+
+    def alive_estimate(self) -> int:
+        horizon = self.sim.now - self._grace_window()
+        return sum(1 for (seen, _state, _inst) in self.registry.values()
+                   if seen >= horizon)
+
+    def _grace_window(self) -> float:
+        intervals = [r.spec.heartbeat_interval_s
+                     for r in self.instances.values()] or [60.0]
+        return self.heartbeat_grace_factor * max(intervals)
+
+    # -- wakeup / recomposition -----------------------------------------------------
+    def _send_wakeup(self, record: InstanceRecord) -> None:
+        deficit = max(record.deficit, 1)
+        probability = self.probability_policy.probability(
+            deficit, self.idle_estimate())
+        payload = WakeupPayload(
+            instance_id=record.instance_id,
+            image_name=record.spec.image_name,
+            image_bits=record.spec.image_bits,
+            probability=probability,
+            requirements=record.spec.requirements,
+            heartbeat_interval_s=record.spec.heartbeat_interval_s,
+            backend_id=record.spec.backend_id,
+        )
+        self.control_plane.publish_wakeup(
+            payload, sign_control(self.key, payload))
+        record.wakeups_sent += 1
+        self.counters.incr("wakeups_broadcast")
+
+    # -- heartbeat handling -----------------------------------------------------------
+    def _receive(self, msg: Message) -> None:
+        payload = msg.payload
+        if not isinstance(payload, HeartbeatPayload):
+            raise OddCIError(f"controller got unexpected payload {payload!r}")
+        now = self.sim.now
+        self.registry[payload.pna_id] = (now, payload.state,
+                                         payload.instance_id)
+        self.counters.incr("heartbeats")
+
+        if payload.state is PNAState.IDLE:
+            # An idle PNA may have silently left an instance earlier.
+            for record in self.instances.values():
+                record.drop_member(payload.pna_id)
+            return
+
+        instance_id = payload.instance_id
+        record = self.instances.get(instance_id)
+        if record is None or record.status in (InstanceStatus.DISMANTLING,
+                                               InstanceStatus.DESTROYED):
+            # Busy for a dead/unknown instance: order a reset.
+            self._reply_reset(payload.pna_id)
+            return
+        trims = self._pending_trims.get(instance_id, 0)
+        if trims > 0:
+            self._pending_trims[instance_id] = trims - 1
+            record.drop_member(payload.pna_id)
+            record.trims_sent += 1
+            self._reply_reset(payload.pna_id)
+            return
+        record.mark_member(payload.pna_id, now)
+
+    def _reply_reset(self, pna_id: str) -> None:
+        if not self.router.has_pna(pna_id):
+            return
+        self.router.send_to_pna(
+            self.controller_id, pna_id,
+            HeartbeatReply(pna_id=pna_id, reset=True),
+            CONTROL_PAYLOAD_BITS)
+        self.counters.incr("trim_replies")
+
+    # -- maintenance -----------------------------------------------------------------
+    def _maintenance_loop(self):
+        try:
+            while True:
+                yield self.maintenance_interval_s
+                self._maintenance_round()
+        except Interrupt:
+            pass
+
+    def _maintenance_round(self) -> None:
+        now = self.sim.now
+        for record in list(self.instances.values()):
+            if record.status is InstanceStatus.DESTROYED:
+                continue
+            cutoff = now - self.heartbeat_grace_factor * \
+                record.spec.heartbeat_interval_s
+            expired = record.expire_members(cutoff)
+            if expired:
+                self.counters.incr("members_expired", expired)
+            self.size_history[record.instance_id].record(now, record.size)
+
+            if record.status is InstanceStatus.DISMANTLING:
+                if record.size == 0:
+                    record.status = InstanceStatus.DESTROYED
+                continue
+
+            if (record.spec.lifetime_s is not None
+                    and now - record.created_at >= record.spec.lifetime_s):
+                self.destroy_instance(record.instance_id)
+                continue
+
+            self._rebalance(record)
+
+    def _rebalance(self, record: InstanceRecord) -> None:
+        band = record.spec.size_tolerance * record.spec.target_size
+        if record.size < record.spec.target_size - band:
+            # Deficit: recompose by re-broadcasting the wakeup.
+            if record.status is not InstanceStatus.PROVISIONING:
+                record.status = InstanceStatus.DEGRADED
+            self._send_wakeup(record)
+            self.counters.incr("recompositions")
+        elif record.size > record.spec.target_size + band:
+            # Excess: trim via heartbeat replies.
+            self._pending_trims[record.instance_id] = record.excess
+            record.status = InstanceStatus.ACTIVE
+        else:
+            self._pending_trims.pop(record.instance_id, None)
+            record.status = InstanceStatus.ACTIVE
+
+    def shutdown(self) -> None:
+        """Stop the maintenance loop and unregister."""
+        if self._maintenance_proc.alive:
+            self._maintenance_proc.interrupt("controller shutdown")
+        self.router.unregister_component(self.controller_id)

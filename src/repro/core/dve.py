@@ -1,0 +1,139 @@
+"""Disposable Virtual Environment — the PNA-side execution sandbox.
+
+When a PNA accepts a wakeup it "creates a DVE for loading and executing
+the user's application" (paper Section 3.2).  Our DVE runs the
+voluntary-computing-style client loop of the staged image: request a
+task from the Backend, fetch its input over the direct channel, compute
+it on the local device, ship the result back, repeat — until the bag is
+dry or the DVE is destroyed by a reset.
+
+The DVE enforces disposal semantics: once destroyed it never issues
+another message or computation, and a fresh wakeup gets a fresh DVE.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.errors import OddCIError
+from repro.core.messages import (
+    NoWork,
+    TaskAssignment,
+    TaskRequest,
+    TaskResultPayload,
+)
+from repro.core.network import Router
+from repro.sim.core import Event, Simulator
+from repro.sim.process import Interrupt, Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.pna import PNA
+
+__all__ = ["DVE", "CONTROL_PAYLOAD_BITS"]
+
+#: Wire size of small protocol payloads (requests, acks): 64 bytes.
+CONTROL_PAYLOAD_BITS = 64 * 8
+
+
+class DVE:
+    """One disposable execution environment bound to an instance."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pna: "PNA",
+        instance_id: str,
+        backend_id: str,
+        *,
+        poll_interval_s: float = 30.0,
+        request_timeout_s: Optional[float] = None,
+    ) -> None:
+        if poll_interval_s <= 0:
+            raise OddCIError("poll_interval_s must be > 0")
+        if request_timeout_s is not None and request_timeout_s <= 0:
+            raise OddCIError("request_timeout_s must be > 0")
+        self.sim = sim
+        self.pna = pna
+        self.instance_id = instance_id
+        self.backend_id = backend_id
+        self.poll_interval_s = poll_interval_s
+        # Direct channels are lossy home broadband: every request is
+        # guarded by a timeout and retried (at-least-once; the Backend
+        # deduplicates results).
+        self.request_timeout_s = request_timeout_s or \
+            max(4.0 * poll_interval_s, 60.0)
+        self.destroyed = False
+        self.tasks_completed = 0
+        self.retransmissions = 0
+        self._pending_reply: Optional[Event] = None
+        self._process: Process = sim.process(self._client_loop())
+
+    # -- message plumbing (called by the PNA's dispatcher) ----------------
+    def on_backend_message(self, payload) -> None:
+        """Deliver a Backend reply (TaskAssignment / NoWork) to the loop."""
+        if self.destroyed:
+            return
+        if self._pending_reply is not None and not self._pending_reply.triggered:
+            self._pending_reply.succeed(payload)
+
+    # -- lifecycle ------------------------------------------------------------
+    def destroy(self) -> None:
+        """Tear the environment down (reset handling).  Idempotent."""
+        if self.destroyed:
+            return
+        self.destroyed = True
+        self._pending_reply = None
+        if self._process.alive:
+            self._process.interrupt("dve destroyed")
+
+    # -- the client loop -------------------------------------------------------
+    def _client_loop(self):
+        router: Router = self.pna.router
+        try:
+            while not self.destroyed:
+                # 1. ask the Backend for work (retry on reply timeout)
+                self._pending_reply = self.sim.event(name="dve.reply")
+                router.send_from_pna(
+                    self.pna.pna_id, self.backend_id,
+                    TaskRequest(pna_id=self.pna.pna_id,
+                                instance_id=self.instance_id),
+                    CONTROL_PAYLOAD_BITS)
+                yield self.sim.any_of([
+                    self._pending_reply,
+                    self.sim.timeout(self.request_timeout_s)])
+                if not self._pending_reply.triggered:
+                    self._pending_reply = None
+                    self.retransmissions += 1
+                    continue  # reply lost in flight: ask again
+                reply = self._pending_reply.value
+                self._pending_reply = None
+
+                if isinstance(reply, NoWork):
+                    if reply.retry_after_s is None:
+                        return self.tasks_completed  # bag is dry: stop
+                    yield reply.retry_after_s
+                    continue
+                if not isinstance(reply, TaskAssignment):
+                    raise OddCIError(
+                        f"DVE got unexpected backend reply {reply!r}")
+
+                # 2. compute (input transfer time was paid by the downlink
+                #    delivery of the assignment, which carried input_bits)
+                yield self.pna.executor(reply.ref_seconds)
+
+                # 3. ship the result — at-least-once: retransmit until the
+                #    link confirms delivery (the Backend deduplicates)
+                while not self.destroyed:
+                    done = router.send_from_pna(
+                        self.pna.pna_id, self.backend_id,
+                        TaskResultPayload(pna_id=self.pna.pna_id,
+                                          task_id=reply.task_id),
+                        CONTROL_PAYLOAD_BITS + reply.result_bits)
+                    yield self.sim.any_of([
+                        done, self.sim.timeout(self.request_timeout_s)])
+                    if done.triggered:
+                        break
+                    self.retransmissions += 1
+                self.tasks_completed += 1
+        except Interrupt:
+            return self.tasks_completed

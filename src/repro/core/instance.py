@@ -1,0 +1,125 @@
+"""OddCI instance descriptors and lifecycle records."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro.errors import InstanceError
+
+__all__ = ["InstanceSpec", "InstanceStatus", "InstanceRecord",
+           "new_instance_id"]
+
+_instance_seq = itertools.count(1)
+
+
+def new_instance_id(prefix: str = "oddci") -> str:
+    """Fresh unique instance identifier."""
+    return f"{prefix}-{next(_instance_seq)}"
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """What the user asked the Provider for.
+
+    Attributes
+    ----------
+    target_size:
+        Desired number of busy PNAs (the instance size N).
+    image_name / image_bits:
+        The application image to stage via broadcast.
+    requirements:
+        Capability constraints PNAs must satisfy.
+    lifetime_s:
+        Optional bound after which the Provider dismantles the instance.
+    size_tolerance:
+        Fractional band around ``target_size`` the Controller keeps the
+        instance in (e.g. 0.1 = within ±10%).
+    """
+
+    target_size: int
+    image_name: str
+    image_bits: float
+    requirements: Mapping[str, Any] = field(default_factory=dict)
+    lifetime_s: Optional[float] = None
+    heartbeat_interval_s: float = 60.0
+    size_tolerance: float = 0.1
+    backend_id: str = "backend"
+
+    def __post_init__(self) -> None:
+        if self.target_size <= 0:
+            raise InstanceError(
+                f"target_size must be > 0, got {self.target_size}")
+        if self.image_bits <= 0:
+            raise InstanceError(f"image_bits must be > 0, got {self.image_bits}")
+        if not self.image_name:
+            raise InstanceError("image_name must be non-empty")
+        if self.lifetime_s is not None and self.lifetime_s <= 0:
+            raise InstanceError("lifetime_s must be > 0 when set")
+        if self.heartbeat_interval_s <= 0:
+            raise InstanceError("heartbeat_interval_s must be > 0")
+        if not 0.0 <= self.size_tolerance < 1.0:
+            raise InstanceError("size_tolerance must be in [0, 1)")
+
+
+class InstanceStatus(enum.Enum):
+    """Lifecycle phase of an OddCI instance."""
+    PROVISIONING = "provisioning"   # wakeup sent, gathering PNAs
+    ACTIVE = "active"               # at (or near) target size
+    DEGRADED = "degraded"           # below tolerance band; recomposing
+    DISMANTLING = "dismantling"     # reset issued
+    DESTROYED = "destroyed"
+
+
+class InstanceRecord:
+    """Controller-side mutable state of one OddCI instance."""
+
+    def __init__(self, instance_id: str, spec: InstanceSpec,
+                 created_at: float) -> None:
+        self.instance_id = instance_id
+        self.spec = spec
+        self.created_at = created_at
+        self.status = InstanceStatus.PROVISIONING
+        #: pna_id -> last heartbeat time
+        self.members: dict[str, float] = {}
+        self.wakeups_sent = 0
+        self.resets_sent = 0
+        self.trims_sent = 0
+
+    @property
+    def size(self) -> int:
+        """Current membership count (from consolidated heartbeats)."""
+        return len(self.members)
+
+    @property
+    def deficit(self) -> int:
+        """PNAs missing to reach the target (>= 0)."""
+        return max(0, self.spec.target_size - self.size)
+
+    @property
+    def excess(self) -> int:
+        """PNAs beyond the target (>= 0)."""
+        return max(0, self.size - self.spec.target_size)
+
+    def within_tolerance(self) -> bool:
+        band = self.spec.size_tolerance * self.spec.target_size
+        return abs(self.size - self.spec.target_size) <= band
+
+    def mark_member(self, pna_id: str, now: float) -> None:
+        if self.status in (InstanceStatus.DISMANTLING,
+                           InstanceStatus.DESTROYED):
+            raise InstanceError(
+                f"instance {self.instance_id} no longer accepts members")
+        self.members[pna_id] = now
+
+    def drop_member(self, pna_id: str) -> None:
+        self.members.pop(pna_id, None)
+
+    def expire_members(self, cutoff: float) -> int:
+        """Remove members whose last heartbeat predates ``cutoff``."""
+        stale = [pid for pid, t in self.members.items() if t < cutoff]
+        for pid in stale:
+            del self.members[pid]
+        return len(stale)

@@ -1,0 +1,102 @@
+"""Message routing between PNAs and the Controller/Backend components.
+
+Every PNA owns a full-duplex direct channel (capacity δ).  Uplink
+messages carry a ``recipient`` component id; the :class:`Router` looks
+the component up and delivers.  Components send back *through the PNA's
+downlink*, so both directions pay the direct channel's serialization and
+latency — exactly the paper's model where the home connection is the
+bottleneck, not the datacenter side.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import NetworkError
+from repro.net.link import DuplexChannel
+from repro.net.message import Message
+from repro.sim.core import Event, Simulator
+
+__all__ = ["Router"]
+
+#: Component-side receive callback: (message, router) -> None
+ReceiveFn = Callable[[Message], None]
+
+
+class Router:
+    """Associates component ids with receive callbacks and PNA ids with
+    their direct channels."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._components: Dict[str, ReceiveFn] = {}
+        self._pna_channels: Dict[str, DuplexChannel] = {}
+        self._pna_receivers: Dict[str, ReceiveFn] = {}
+        self.undeliverable = 0
+
+    # -- registration ----------------------------------------------------
+    def register_component(self, component_id: str,
+                           receive: ReceiveFn) -> None:
+        if component_id in self._components:
+            raise NetworkError(f"component {component_id!r} already registered")
+        self._components[component_id] = receive
+
+    def unregister_component(self, component_id: str) -> None:
+        self._components.pop(component_id, None)
+
+    def register_pna(self, pna_id: str, channel: DuplexChannel,
+                     receive: ReceiveFn) -> None:
+        if pna_id in self._pna_channels:
+            raise NetworkError(f"PNA {pna_id!r} already registered")
+        self._pna_channels[pna_id] = channel
+        self._pna_receivers[pna_id] = receive
+        channel.uplink.attach(self._deliver_to_component)
+        channel.downlink.attach(
+            lambda msg, pna_id=pna_id: self._deliver_to_pna(pna_id, msg))
+
+    def unregister_pna(self, pna_id: str) -> None:
+        self._pna_channels.pop(pna_id, None)
+        self._pna_receivers.pop(pna_id, None)
+
+    # -- sending ------------------------------------------------------------
+    def send_from_pna(self, pna_id: str, recipient: str, payload: Any,
+                      payload_bits: float) -> Event:
+        """Send over the PNA's uplink to a component; returns the link's
+        completion event (silently undeliverable if the component is
+        unknown at delivery time)."""
+        channel = self._pna_channels.get(pna_id)
+        if channel is None:
+            raise NetworkError(f"unknown PNA {pna_id!r}")
+        msg = Message(sender=pna_id, recipient=recipient,
+                      payload=payload, payload_bits=payload_bits)
+        msg.stamped(self.sim.now)
+        return channel.uplink.send(msg)
+
+    def send_to_pna(self, sender: str, pna_id: str, payload: Any,
+                    payload_bits: float) -> Event:
+        """Send over the PNA's downlink; raises on unknown PNA."""
+        channel = self._pna_channels.get(pna_id)
+        if channel is None:
+            raise NetworkError(f"unknown PNA {pna_id!r}")
+        msg = Message(sender=sender, recipient=pna_id,
+                      payload=payload, payload_bits=payload_bits)
+        msg.stamped(self.sim.now)
+        return channel.downlink.send(msg)
+
+    def has_pna(self, pna_id: str) -> bool:
+        return pna_id in self._pna_channels
+
+    # -- delivery --------------------------------------------------------
+    def _deliver_to_component(self, msg: Message) -> None:
+        receive = self._components.get(msg.recipient)
+        if receive is None:
+            self.undeliverable += 1
+            return
+        receive(msg)
+
+    def _deliver_to_pna(self, pna_id: str, msg: Message) -> None:
+        receive = self._pna_receivers.get(pna_id)
+        if receive is None:
+            self.undeliverable += 1
+            return
+        receive(msg)

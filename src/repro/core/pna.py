@@ -1,0 +1,253 @@
+"""Processing Node Agent — the per-device component of OddCI.
+
+The PNA (paper Section 3.2, Figure 2) listens to the broadcast channel,
+verifies that control messages come from its associated Controller,
+keeps an idle/busy state, probabilistically accepts wakeups whose
+requirements it satisfies, runs the staged image inside a
+:class:`~repro.core.dve.DVE`, answers resets, and sends periodic
+heartbeats over its direct channel.
+
+This class is substrate-agnostic; the DTV binding wraps it in an Xlet
+(:mod:`repro.dtv_oddci`), the generic binding subscribes it directly to
+a :class:`~repro.net.broadcast.BroadcastChannel`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Optional
+
+from repro.errors import OddCIError
+from repro.core.dve import CONTROL_PAYLOAD_BITS, DVE
+from repro.core.messages import (
+    HeartbeatPayload,
+    HeartbeatReply,
+    PNAState,
+    ResetPayload,
+    WakeupPayload,
+    matches_requirements,
+    verify_control,
+)
+from repro.core.network import Router
+from repro.net.link import DuplexChannel
+from repro.net.message import Message
+from repro.sim.core import Simulator
+from repro.sim.process import Interrupt
+
+__all__ = ["PNA"]
+
+#: executor maps reference-PC seconds -> local device seconds.
+Executor = Callable[[float], float]
+
+
+class PNA:
+    """One processing-node agent.
+
+    Parameters
+    ----------
+    channel:
+        The node's direct channel (registered with ``router``).
+    controller_key:
+        Verification key of the associated Controller; messages signed
+        under any other key are dropped.
+    capabilities:
+        Matched against wakeup requirements.
+    executor:
+        Device timing model (reference seconds → local seconds).
+        Defaults to the identity (a reference-PC node).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pna_id: str,
+        *,
+        router: Router,
+        channel: DuplexChannel,
+        controller_key: bytes,
+        controller_id: str = "controller",
+        capabilities: Optional[Mapping[str, Any]] = None,
+        executor: Optional[Executor] = None,
+        heartbeat_interval_s: float = 60.0,
+        dve_poll_interval_s: float = 30.0,
+        start_online: bool = True,
+    ) -> None:
+        if not pna_id:
+            raise OddCIError("pna_id must be non-empty")
+        if heartbeat_interval_s <= 0:
+            raise OddCIError("heartbeat_interval_s must be > 0")
+        self.sim = sim
+        self.pna_id = pna_id
+        self.router = router
+        self.channel = channel
+        self.controller_key = controller_key
+        self.controller_id = controller_id
+        self.capabilities: Mapping[str, Any] = dict(capabilities or {})
+        self.executor: Executor = executor or (lambda ref: ref)
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.dve_poll_interval_s = dve_poll_interval_s
+
+        self.state = PNAState.IDLE
+        self.instance_id: Optional[str] = None
+        self.dve: Optional[DVE] = None
+        self.online = bool(start_online)
+
+        # drop counters (observability for the recruitment experiments)
+        self.wakeups_seen = 0
+        self.wakeups_accepted = 0
+        self.dropped_bad_signature = 0
+        self.dropped_busy = 0
+        self.dropped_probability = 0
+        self.dropped_requirements = 0
+        self.resets_handled = 0
+        self.heartbeats_sent = 0
+
+        router.register_pna(pna_id, channel, self._on_downlink)
+        self._heartbeat_proc = sim.process(self._heartbeat_loop())
+
+    # -- control-plane entry point ------------------------------------------
+    def deliver_control(
+        self,
+        payload,
+        signature: bytes,
+        *,
+        fetch_image: Optional[Callable[[], Any]] = None,
+    ) -> None:
+        """Handle a broadcast control message.
+
+        ``fetch_image`` — when the substrate stages the image lazily
+        (DSM-CC carousel), a callable returning an event that settles
+        once this node has the image; ``None`` means the image arrived
+        with the message (generic broadcast plane).
+        """
+        if not self.online:
+            return
+        if not verify_control(self.controller_key, payload, signature):
+            self.dropped_bad_signature += 1
+            return
+        if isinstance(payload, WakeupPayload):
+            self._handle_wakeup(payload, fetch_image)
+        elif isinstance(payload, ResetPayload):
+            self._handle_reset(payload)
+        else:
+            raise OddCIError(f"unknown control payload {payload!r}")
+
+    def _handle_wakeup(self, wakeup: WakeupPayload,
+                       fetch_image: Optional[Callable[[], Any]]) -> None:
+        self.wakeups_seen += 1
+        if self.state is PNAState.BUSY:
+            self.dropped_busy += 1
+            return
+        if not matches_requirements(wakeup.requirements, self.capabilities):
+            self.dropped_requirements += 1
+            return
+        if self.sim.rng(f"pna:{self.pna_id}").random() >= wakeup.probability:
+            self.dropped_probability += 1
+            return
+        self.wakeups_accepted += 1
+        # Become busy immediately: a PNA that committed to an instance
+        # must not double-accept while staging the image.
+        self.state = PNAState.BUSY
+        self.instance_id = wakeup.instance_id
+        if wakeup.heartbeat_interval_s != self.heartbeat_interval_s:
+            # Reconfiguration takes effect now, not after the current
+            # (possibly long) sleep.
+            self.heartbeat_interval_s = wakeup.heartbeat_interval_s
+            self._restart_heartbeat()
+        if fetch_image is None:
+            self._start_dve(wakeup)
+        else:
+            ev = fetch_image()
+            ev.add_callback(
+                lambda e, wakeup=wakeup: self._image_staged(wakeup, e))
+
+    def _image_staged(self, wakeup: WakeupPayload, event) -> None:
+        if not event.ok or not self.online:
+            self._go_idle()
+            return
+        if self.state is not PNAState.BUSY or (
+                self.instance_id != wakeup.instance_id):
+            return  # reset raced the image fetch
+        self._start_dve(wakeup)
+
+    def _start_dve(self, wakeup: WakeupPayload) -> None:
+        self.dve = DVE(self.sim, self, wakeup.instance_id,
+                       wakeup.backend_id,
+                       poll_interval_s=self.dve_poll_interval_s)
+
+    def _handle_reset(self, reset: ResetPayload) -> None:
+        if self.state is PNAState.IDLE:
+            return  # idle PNAs simply drop resets
+        if reset.instance_id not in (None, "*", self.instance_id):
+            return  # reset for a different instance
+        self.resets_handled += 1
+        self._go_idle()
+
+    def _go_idle(self) -> None:
+        if self.dve is not None:
+            self.dve.destroy()
+            self.dve = None
+        self.state = PNAState.IDLE
+        self.instance_id = None
+
+    # -- direct channel ---------------------------------------------------------
+    def _on_downlink(self, msg: Message) -> None:
+        """Dispatcher for messages arriving on the node's downlink."""
+        if not self.online:
+            return
+        payload = msg.payload
+        if isinstance(payload, HeartbeatReply):
+            if payload.reset and self.state is PNAState.BUSY:
+                self.resets_handled += 1
+                self._go_idle()
+            return
+        # Everything else is Backend traffic for the DVE.
+        if self.dve is not None:
+            self.dve.on_backend_message(payload)
+
+    def _restart_heartbeat(self) -> None:
+        """Replace the heartbeat process (new interval applies at once)."""
+        if self._heartbeat_proc.alive:
+            self._heartbeat_proc.interrupt("heartbeat reconfigured")
+        self._heartbeat_proc = self.sim.process(self._heartbeat_loop())
+
+    def _heartbeat_loop(self):
+        try:
+            while True:
+                yield self.heartbeat_interval_s
+                if not self.online:
+                    continue
+                hb = HeartbeatPayload(pna_id=self.pna_id, state=self.state,
+                                      instance_id=self.instance_id)
+                self.router.send_from_pna(
+                    self.pna_id, self.controller_id, hb,
+                    CONTROL_PAYLOAD_BITS)
+                self.heartbeats_sent += 1
+        except Interrupt:
+            pass
+
+    # -- owner actions (power) ---------------------------------------------------
+    def shutdown(self, *, manage_channel: bool = True) -> None:
+        """The owner switches the device off: the DVE vanishes silently
+        (the Controller learns through missing heartbeats).
+
+        ``manage_channel=False`` leaves the direct channel alone — used
+        when an outer substrate (a set-top box) owns the channel state.
+        """
+        if not self.online:
+            return
+        self.online = False
+        self._go_idle()
+        if manage_channel:
+            self.channel.set_up(False)
+
+    def restart(self, *, manage_channel: bool = True) -> None:
+        """Power the device back on (idle, listening again)."""
+        if self.online:
+            return
+        self.online = True
+        if manage_channel:
+            self.channel.set_up(True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<PNA {self.pna_id} {self.state.value} "
+                f"instance={self.instance_id!r} online={self.online}>")

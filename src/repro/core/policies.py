@@ -1,0 +1,77 @@
+"""Recruitment policies: choosing the wakeup probability.
+
+The wakeup message carries a probability with which each *idle* PNA
+handles it (paper Section 3.2).  Choosing that probability is how the
+Provider sizes an instance without enumerating receivers:
+
+* :class:`FixedProbability` — a constant; simple, over- or under-shoots
+  unless the idle population is known exactly.
+* :class:`DeficitProportional` — probability = needed / estimated idle
+  population, optionally padded by ``safety`` to compensate for
+  requirement mismatches and churn.  The Controller feeds it the current
+  idle-population estimate consolidated from heartbeats.
+
+The A2 ablation benchmark compares these policies' over/under-recruitment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ProbabilityPolicy", "FixedProbability", "DeficitProportional"]
+
+
+class ProbabilityPolicy:
+    """Interface: map (deficit, idle estimate) to a wakeup probability."""
+
+    def probability(self, deficit: int, idle_estimate: int) -> float:
+        """Return the handling probability for the next wakeup message.
+
+        ``deficit`` is the number of PNAs still needed; ``idle_estimate``
+        the Controller's best guess of currently idle, reachable PNAs
+        (0 when unknown).
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedProbability(ProbabilityPolicy):
+    """Always use the same probability."""
+
+    value: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.value <= 1.0:
+            raise ConfigurationError(
+                f"probability must be in (0, 1], got {self.value}")
+
+    def probability(self, deficit: int, idle_estimate: int) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class DeficitProportional(ProbabilityPolicy):
+    """probability ≈ safety · deficit / idle_estimate, clamped to (0, 1].
+
+    With an accurate idle estimate the expected number of accepting PNAs
+    equals ``safety · deficit``; ``safety`` slightly above 1 makes the
+    instance converge from below in few rounds without large overshoot.
+    When the idle population is unknown (estimate 0) it falls back to
+    probability 1 — recruit aggressively, trim later.
+    """
+
+    safety: float = 1.1
+
+    def __post_init__(self) -> None:
+        if self.safety <= 0:
+            raise ConfigurationError(f"safety must be > 0, got {self.safety}")
+
+    def probability(self, deficit: int, idle_estimate: int) -> float:
+        if deficit <= 0:
+            raise ConfigurationError(
+                "probability requested with no deficit")
+        if idle_estimate <= 0:
+            return 1.0
+        return min(1.0, self.safety * deficit / idle_estimate)

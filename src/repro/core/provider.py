@@ -1,0 +1,138 @@
+"""Provider: the user-facing front door of an OddCI deployment.
+
+The Provider (paper Section 3.1) creates, manages and destroys OddCI
+instances according to user requests, delegating the broadcast-side
+mechanics to the Controller.  It also owns per-job Backends: a user
+submits a :class:`~repro.workloads.job.Job`, the Provider spins up a
+Backend for it, sizes an instance, and reports the makespan when the
+job completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ProvisioningError
+from repro.core.backend import Backend, JobReport
+from repro.core.controller import Controller
+from repro.core.instance import InstanceRecord, InstanceSpec, InstanceStatus
+from repro.sim.core import Event, Simulator
+from repro.workloads.job import Job
+
+__all__ = ["Provider", "Submission"]
+
+
+@dataclass
+class Submission:
+    """A job submitted through the Provider: instance + backend pair."""
+
+    job: Job
+    record: InstanceRecord
+    backend: Backend
+
+    @property
+    def instance_id(self) -> str:
+        return self.record.instance_id
+
+    @property
+    def done_event(self) -> Event:
+        return self.backend.done_event
+
+
+class Provider:
+    """Creates and manages OddCI instances on behalf of users."""
+
+    def __init__(self, sim: Simulator, controller: Controller) -> None:
+        self.sim = sim
+        self.controller = controller
+        self._submissions: Dict[str, Submission] = {}
+
+    # -- raw instance API -----------------------------------------------------
+    def request_instance(self, spec: InstanceSpec) -> InstanceRecord:
+        """Provision an instance with no job attached (bare capacity)."""
+        return self.controller.create_instance(spec)
+
+    def resize(self, instance_id: str, new_target: int) -> None:
+        self.controller.resize_instance(instance_id, new_target)
+
+    def release(self, instance_id: str) -> None:
+        """Dismantle an instance and shut down its backend, if any."""
+        self.controller.destroy_instance(instance_id)
+        submission = self._submissions.get(instance_id)
+        if submission is not None:
+            submission.backend.shutdown()
+
+    def status(self, instance_id: str) -> dict:
+        """Human-readable status summary of one instance."""
+        record = self.controller.instance(instance_id)
+        out = {
+            "instance_id": instance_id,
+            "status": record.status.value,
+            "size": record.size,
+            "target_size": record.spec.target_size,
+            "wakeups_sent": record.wakeups_sent,
+            "trims_sent": record.trims_sent,
+        }
+        submission = self._submissions.get(instance_id)
+        if submission is not None:
+            out["tasks_completed"] = submission.backend.completed_count
+            out["tasks_total"] = submission.job.n
+        return out
+
+    # -- job submission ------------------------------------------------------------
+    def submit_job(
+        self,
+        job: Job,
+        target_size: int,
+        *,
+        heartbeat_interval_s: float = 60.0,
+        lifetime_s: Optional[float] = None,
+        size_tolerance: float = 0.1,
+        lease_factor: Optional[float] = None,
+        replicate_tail: bool = False,
+        release_on_completion: bool = True,
+    ) -> Submission:
+        """Run ``job`` on a fresh OddCI instance of ``target_size`` nodes.
+
+        Creates the Backend, then commands the instance creation; the
+        wakeup message points PNAs at the new Backend.  When the last
+        result arrives, the instance is dismantled automatically unless
+        ``release_on_completion=False``.
+        """
+        if target_size <= 0:
+            raise ProvisioningError(
+                f"target_size must be > 0, got {target_size}")
+        backend_id = f"backend-job{job.job_id}"
+        backend = Backend(self.sim, job, self.controller.router,
+                          backend_id=backend_id, lease_factor=lease_factor,
+                          replicate_tail=replicate_tail)
+        spec = InstanceSpec(
+            target_size=target_size,
+            image_name=job.name or f"job-{job.job_id}",
+            image_bits=job.image_bits,
+            requirements=job.requirements,
+            lifetime_s=lifetime_s,
+            heartbeat_interval_s=heartbeat_interval_s,
+            size_tolerance=size_tolerance,
+            backend_id=backend_id,
+        )
+        record = self.controller.create_instance(spec)
+        submission = Submission(job=job, record=record, backend=backend)
+        self._submissions[record.instance_id] = submission
+        if release_on_completion:
+            backend.done_event.add_callback(
+                lambda ev, iid=record.instance_id: self._auto_release(iid))
+        return submission
+
+    def _auto_release(self, instance_id: str) -> None:
+        record = self.controller.instance(instance_id)
+        if record.status in (InstanceStatus.DISMANTLING,
+                             InstanceStatus.DESTROYED):
+            return
+        self.release(instance_id)
+
+    def run_job_to_completion(self, submission: Submission,
+                              limit_s: float = 1e9) -> JobReport:
+        """Drive the simulation until the submission's job finishes."""
+        return self.sim.run_until_event(submission.done_event, limit=limit_s)

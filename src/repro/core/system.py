@@ -1,0 +1,109 @@
+"""Convenience facade wiring a complete generic OddCI deployment.
+
+:class:`OddCISystem` assembles the simulator-side plumbing — router, key
+registry, broadcast channel, control plane, Controller and Provider —
+and offers helpers to build PNA fleets.  Examples and benchmarks build
+on this facade; the individual components remain fully usable on their
+own (the DTV binding in :mod:`repro.dtv_oddci` wires them differently).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Mapping, Optional
+
+from repro.errors import ConfigurationError
+from repro.core.controller import Controller, DirectControlPlane
+from repro.core.network import Router
+from repro.core.pna import PNA
+from repro.core.policies import ProbabilityPolicy
+from repro.core.provider import Provider
+from repro.net.broadcast import BroadcastChannel
+from repro.net.crypto import KeyRegistry
+from repro.net.link import DuplexChannel
+from repro.sim.core import Simulator
+
+__all__ = ["OddCISystem"]
+
+
+class OddCISystem:
+    """A generic OddCI deployment over a raw broadcast channel.
+
+    Parameters
+    ----------
+    beta_bps:
+        Spare broadcast capacity β.
+    delta_bps:
+        Direct-channel capacity δ per node.
+    """
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        *,
+        beta_bps: float = 1_000_000.0,
+        delta_bps: float = 150_000.0,
+        delta_latency_s: float = 0.05,
+        probability_policy: Optional[ProbabilityPolicy] = None,
+        maintenance_interval_s: float = 60.0,
+        seed: Optional[int] = 0,
+    ) -> None:
+        if delta_bps <= 0:
+            raise ConfigurationError("delta_bps must be > 0")
+        if delta_latency_s < 0:
+            raise ConfigurationError("delta_latency_s must be >= 0")
+        self.sim = sim or Simulator(seed=seed)
+        self.delta_bps = float(delta_bps)
+        self.delta_latency_s = float(delta_latency_s)
+        self.router = Router(self.sim)
+        self.keys = KeyRegistry()
+        self.broadcast = BroadcastChannel(self.sim, beta_bps=beta_bps,
+                                          name="oddci.broadcast")
+        self.control_plane = DirectControlPlane(self.broadcast)
+        self.controller = Controller(
+            self.sim, self.router, self.control_plane, self.keys,
+            probability_policy=probability_policy,
+            maintenance_interval_s=maintenance_interval_s)
+        self.provider = Provider(self.sim, self.controller)
+        self.pnas: List[PNA] = []
+
+    def add_pna(
+        self,
+        *,
+        capabilities: Optional[Mapping[str, Any]] = None,
+        executor: Optional[Callable[[float], float]] = None,
+        heartbeat_interval_s: float = 60.0,
+        dve_poll_interval_s: float = 15.0,
+    ) -> PNA:
+        """Create one PNA with its own direct channel, attached to the
+        broadcast plane."""
+        idx = len(self.pnas)
+        channel = DuplexChannel(self.sim, rate_bps=self.delta_bps,
+                                latency_s=self.delta_latency_s,
+                                name=f"pna{idx}.direct")
+        pna = PNA(
+            self.sim, f"pna-{idx}",
+            router=self.router, channel=channel,
+            controller_key=self.keys.key_of(self.controller.controller_id),
+            controller_id=self.controller.controller_id,
+            capabilities=capabilities,
+            executor=executor,
+            heartbeat_interval_s=heartbeat_interval_s,
+            dve_poll_interval_s=dve_poll_interval_s)
+        self.control_plane.attach(pna)
+        self.pnas.append(pna)
+        return pna
+
+    def add_pnas(self, n: int, **kwargs: Any) -> List[PNA]:
+        """Create ``n`` identical PNAs."""
+        if n <= 0:
+            raise ConfigurationError(f"n must be > 0, got {n}")
+        return [self.add_pna(**kwargs) for _ in range(n)]
+
+    # -- quick stats -------------------------------------------------------------
+    def busy_count(self) -> int:
+        from repro.core.messages import PNAState
+
+        return sum(1 for p in self.pnas if p.state is PNAState.BUSY)
+
+    def idle_count(self) -> int:
+        return len(self.pnas) - self.busy_count()

@@ -1,0 +1,114 @@
+"""Event-driven receiver populations with tuning and churn.
+
+Builds ``n`` set-top boxes, each with its own direct channel, tunes them
+to a service, distributes initial power modes, and (optionally) runs a
+churn process per receiver that flips it between OFF and its nominal
+mode according to a :class:`~repro.workloads.traces.ChurnModel`.
+
+This is the *event tier* (faithful per-node processes, practical up to
+~10⁴ receivers).  The *vector tier* for millions of receivers lives in
+:mod:`repro.vector`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.dtv.receiver import SetTopBox
+from repro.dtv.transport import Service
+from repro.net.link import DuplexChannel
+from repro.sim.core import Simulator
+from repro.workloads.devices import REFERENCE_STB, DeviceProfile, PowerMode
+from repro.workloads.traces import ChurnModel
+
+__all__ = ["PopulationConfig", "ReceiverPopulation"]
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Parameters for building a receiver population.
+
+    ``in_use_fraction`` of powered receivers are IN_USE (watching TV),
+    the rest are in STANDBY.  ``delta_bps`` is the direct-channel rate δ;
+    ``delta_latency_s`` its one-way latency.
+    """
+
+    n: int
+    delta_bps: float = 150_000.0
+    delta_latency_s: float = 0.05
+    in_use_fraction: float = 1.0
+    profile: DeviceProfile = REFERENCE_STB
+    churn: Optional[ChurnModel] = None
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ConfigurationError(f"population size must be > 0, got {self.n}")
+        if self.delta_bps <= 0:
+            raise ConfigurationError("delta_bps must be > 0")
+        if self.delta_latency_s < 0:
+            raise ConfigurationError("delta_latency_s must be >= 0")
+        if not 0.0 <= self.in_use_fraction <= 1.0:
+            raise ConfigurationError("in_use_fraction must be in [0, 1]")
+
+
+class ReceiverPopulation:
+    """``n`` set-top boxes tuned to one service, with optional churn."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: PopulationConfig,
+        service: Optional[Service] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.service = service
+        self.boxes: List[SetTopBox] = []
+        rng = sim.rng("population")
+        for i in range(config.n):
+            channel = DuplexChannel(
+                sim, rate_bps=config.delta_bps,
+                latency_s=config.delta_latency_s, name=f"stb{i}.direct")
+            mode = (PowerMode.IN_USE
+                    if rng.random() < config.in_use_fraction
+                    else PowerMode.STANDBY)
+            stb = SetTopBox(sim, stb_id=f"stb-{i}",
+                            direct_channel=channel,
+                            profile=config.profile, mode=mode)
+            if service is not None:
+                stb.tune(service)
+            self.boxes.append(stb)
+        if config.churn is not None:
+            for stb in self.boxes:
+                sim.process(self._churn_proc(stb, config.churn))
+
+    def __iter__(self) -> Iterator[SetTopBox]:
+        return iter(self.boxes)
+
+    def __len__(self) -> int:
+        return len(self.boxes)
+
+    # -- stats ------------------------------------------------------------
+    def powered_count(self) -> int:
+        return sum(1 for b in self.boxes if b.powered)
+
+    def count_in_mode(self, mode: PowerMode) -> int:
+        return sum(1 for b in self.boxes if b.mode is mode)
+
+    # -- churn -----------------------------------------------------------
+    def _churn_proc(self, stb: SetTopBox, model: ChurnModel):
+        """Flip one receiver between OFF and its nominal powered mode."""
+        rng = self.sim.rng("population.churn")
+        nominal = stb.mode if stb.powered else PowerMode.IN_USE
+        # Start state per the model's initial-on probability.
+        if rng.random() >= model.start_on_probability():
+            stb.set_mode(PowerMode.OFF)
+        while True:
+            if stb.powered:
+                yield model.sample_on(rng)
+                stb.set_mode(PowerMode.OFF)
+            else:
+                yield model.sample_off(rng)
+                stb.set_mode(nominal)

@@ -1,0 +1,116 @@
+"""Xlet lifecycle state machine (JavaTV semantics, paper Figure 4).
+
+An Xlet moves through *Loaded → Paused → Started → Destroyed*, with
+``pauseXlet``/``startXlet`` bouncing between Paused and Started, and
+``destroyXlet`` reachable from any live state.  Once Destroyed, the
+instance can never be restarted.
+
+Concrete applications subclass :class:`Xlet` and override the ``on_*``
+hooks; the state machine itself lives in the base class and raises
+:class:`~repro.errors.XletStateError` on illegal transitions — the
+application manager relies on those guarantees.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional
+
+from repro.errors import XletStateError
+from repro.sim.core import Simulator
+
+__all__ = ["XletState", "Xlet"]
+
+
+class XletState(enum.Enum):
+    """Lifecycle states of an Xlet (JavaTV)."""
+    LOADED = "loaded"
+    PAUSED = "paused"
+    STARTED = "started"
+    DESTROYED = "destroyed"
+
+
+#: Legal (state, method) pairs.
+_LEGAL = {
+    ("init_xlet", XletState.LOADED),
+    ("start_xlet", XletState.PAUSED),
+    ("pause_xlet", XletState.STARTED),
+}
+
+
+class Xlet:
+    """Base class for simulated Xlets.
+
+    Subclasses override the ``on_init`` / ``on_start`` / ``on_pause`` /
+    ``on_destroy`` hooks.  Hooks run synchronously at the simulated time
+    of the lifecycle call; long-running behaviour belongs in simulation
+    processes the hooks spawn.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "xlet"):
+        self.sim = sim
+        self.name = name
+        self._state = XletState.LOADED
+        self.context: dict[str, Any] = {}
+
+    @property
+    def state(self) -> XletState:
+        return self._state
+
+    @property
+    def destroyed(self) -> bool:
+        return self._state is XletState.DESTROYED
+
+    # -- lifecycle methods (called by the application manager) ----------
+    def init_xlet(self, context: Optional[dict] = None) -> None:
+        """Loaded → Paused; the Xlet may load additional carousel data."""
+        self._require("init_xlet")
+        if context:
+            self.context.update(context)
+        self.on_init()
+        self._state = XletState.PAUSED
+
+    def start_xlet(self) -> None:
+        """Paused → Started; the Xlet provides its service."""
+        self._require("start_xlet")
+        self._state = XletState.STARTED
+        self.on_start()
+
+    def pause_xlet(self) -> None:
+        """Started → Paused; the Xlet minimises resource usage."""
+        self._require("pause_xlet")
+        self._state = XletState.PAUSED
+        self.on_pause()
+
+    def destroy_xlet(self, unconditional: bool = True) -> None:
+        """Any live state → Destroyed; frees all resources, final."""
+        if self._state is XletState.DESTROYED:
+            raise XletStateError(
+                f"{self.name}: destroy_xlet on already-destroyed Xlet")
+        self._state = XletState.DESTROYED
+        self.on_destroy(unconditional)
+
+    def _require(self, method: str) -> None:
+        if self._state is XletState.DESTROYED:
+            raise XletStateError(
+                f"{self.name}: {method} called on destroyed Xlet")
+        if (method, self._state) not in _LEGAL:
+            raise XletStateError(
+                f"{self.name}: {method} illegal from state "
+                f"{self._state.value!r}")
+
+    # -- hooks -----------------------------------------------------------
+    def on_init(self) -> None:  # pragma: no cover - default no-op
+        """Initialisation hook (runs during ``init_xlet``)."""
+
+    def on_start(self) -> None:  # pragma: no cover - default no-op
+        """Activation hook (runs during ``start_xlet``)."""
+
+    def on_pause(self) -> None:  # pragma: no cover - default no-op
+        """Deactivation hook (runs during ``pause_xlet``)."""
+
+    def on_destroy(self, unconditional: bool) -> None:  # pragma: no cover
+        """Teardown hook (runs during ``destroy_xlet``)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Xlet {self.name!r} {self._state.value}>"

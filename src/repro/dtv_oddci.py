@@ -1,0 +1,497 @@
+"""OddCI-DTV: the paper's Section 4 binding of OddCI onto a DTV network.
+
+The generic components (Controller, Provider, Backend, PNA core) are
+reused unchanged; what changes is the broadcast control plane:
+
+* the PNA is packaged as an AUTOSTART Xlet (:class:`PNAXlet`) carried in
+  the service's DSM-CC object carousel and signalled through the AIT, so
+  every tuned receiver loads and starts it without user intervention;
+* control messages travel as a small ``oddci.config`` carousel file the
+  PNA Xlet re-reads every carousel repetition (the paper's "infinite
+  loop that ... possibly executes some action based on the message
+  received");
+* the application image is a separate (large) carousel file the Xlet
+  fetches when it accepts a wakeup — paying the real 1.5-cycle average
+  carousel latency that the paper's W = 1.5·I/β models.
+
+:class:`OddCIDTVSystem` wires everything: multiplex, service, carousel
+plane, controller/provider, and set-top-box fleets whose PNAs execute
+task compute on the calibrated STB device model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError, OddCIError
+from repro.carousel.objects import CarouselFile
+from repro.core.controller import Controller, ControlPlane
+from repro.core.messages import ResetPayload, WakeupPayload
+from repro.core.network import Router
+from repro.core.pna import PNA
+from repro.core.policies import ProbabilityPolicy
+from repro.core.provider import Provider
+from repro.dtv.ait import (
+    AITEntry,
+    ApplicationControlCode,
+    ApplicationInformationTable,
+)
+from repro.dtv.receiver import SetTopBox
+from repro.dtv.transport import Multiplex, Service
+from repro.dtv.xlet import Xlet
+from repro.net.crypto import KeyRegistry
+from repro.net.link import DuplexChannel
+from repro.net.message import bits_from_bytes
+from repro.sim.core import Simulator
+from repro.sim.process import Interrupt
+from repro.workloads.devices import REFERENCE_STB, DeviceProfile, PowerMode
+from repro.workloads.traces import ChurnModel
+
+__all__ = ["PNA_XLET_FILE", "CONFIG_FILE", "CarouselControlPlane",
+           "PNAXlet", "OddCIDTVSystem", "FanoutControlPlane",
+           "MultiChannelOddCIDTVSystem"]
+
+#: Carousel path of the PNA Xlet code (the trigger application).
+PNA_XLET_FILE = "pna.bin"
+#: Carousel path of the control/configuration file.
+CONFIG_FILE = "oddci.config"
+#: AIT application id reserved for the PNA Xlet.
+PNA_APP_ID = 777
+
+
+class CarouselControlPlane(ControlPlane):
+    """Control plane that publishes through a DSM-CC carousel + AIT.
+
+    Mounts the service's carousel with the PNA Xlet and an (initially
+    empty) config file, signals the Xlet AUTOSTART in the AIT, and maps
+    ``publish_wakeup`` / ``publish_reset`` onto versioned carousel file
+    updates.  One control message is current at a time — the config file
+    carries the latest; the Controller's periodic recomposition makes
+    this eventually reach every instance (a real single-carousel
+    limitation, noted in DESIGN.md).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        service: Service,
+        *,
+        xlet_factory,
+        pna_xlet_bits: float = bits_from_bytes(256 * 1024),
+        config_bits: float = bits_from_bytes(4 * 1024),
+    ) -> None:
+        if pna_xlet_bits <= 0 or config_bits <= 0:
+            raise ConfigurationError("carousel file sizes must be > 0")
+        self.sim = sim
+        self.service = service
+        self._config_version = 1
+        self._config_bits = float(config_bits)
+        self._instance_images: Dict[str, str] = {}
+        files = [
+            CarouselFile(name=PNA_XLET_FILE, size_bits=float(pna_xlet_bits),
+                         metadata={"xlet_factory": xlet_factory}),
+            CarouselFile(name=CONFIG_FILE, size_bits=float(config_bits),
+                         metadata={"control": None}),
+        ]
+        self.carousel = service.mount_carousel(files)
+        ait = service.ait.with_entry(AITEntry(
+            app_id=PNA_APP_ID, name="oddci-pna",
+            control_code=ApplicationControlCode.AUTOSTART,
+            carousel_path=PNA_XLET_FILE))
+        service.publish_ait(ait)
+
+    # -- ControlPlane API -----------------------------------------------------
+    def publish_wakeup(self, payload: WakeupPayload,
+                       signature: bytes) -> None:
+        image_name = payload.image_name
+        if image_name in (PNA_XLET_FILE, CONFIG_FILE):
+            raise OddCIError(
+                f"image name {image_name!r} collides with a control file")
+        known = (image_name in self.carousel.file_names
+                 or image_name in self._instance_images.values())
+        if not known:
+            self.carousel.add_file(CarouselFile(
+                name=image_name, size_bits=payload.image_bits))
+        self._instance_images[payload.instance_id] = image_name
+        self._publish_control(payload, signature)
+
+    def publish_reset(self, payload: ResetPayload,
+                      signature: bytes) -> None:
+        self._publish_control(payload, signature)
+        # Retire the dismantled instance's image from the carousel.
+        if payload.instance_id in (None, "*"):
+            for name in set(self._instance_images.values()):
+                if name in self.carousel.file_names:
+                    self.carousel.remove_file(name)
+            self._instance_images.clear()
+        else:
+            name = self._instance_images.pop(payload.instance_id, None)
+            still_used = name in self._instance_images.values()
+            if name and not still_used and name in self.carousel.file_names:
+                self.carousel.remove_file(name)
+
+    def _publish_control(self, payload, signature: bytes) -> None:
+        self._config_version += 1
+        self.carousel.replace_file(CarouselFile(
+            name=CONFIG_FILE, size_bits=self._config_bits,
+            version=self._config_version,
+            metadata={"control": (payload, signature)}))
+
+
+class PNAXlet(Xlet):
+    """The PNA packaged as a trigger application.
+
+    Created by the receiver's application manager after the Xlet code is
+    read from the carousel.  While Started it keeps the bound PNA core
+    online and polls the carousel's config file once per repetition,
+    forwarding fresh control messages; wakeups stage their image through
+    a carousel read (the 1.5-cycle latency).  Destruction takes the PNA
+    offline silently.
+    """
+
+    def __init__(self, sim: Simulator, stb: SetTopBox, pna: PNA):
+        super().__init__(sim, name=f"pna-xlet@{stb.stb_id}")
+        self.stb = stb
+        self.pna = pna
+        self._last_config_version = 0
+        self._loop = None
+
+    def on_start(self) -> None:
+        self.pna.restart(manage_channel=False)
+        self._loop = self.sim.process(self._control_loop())
+
+    def on_pause(self) -> None:
+        self._stop_loop()
+
+    def on_destroy(self, unconditional: bool) -> None:
+        self._stop_loop()
+        self.pna.shutdown(manage_channel=False)
+
+    def _stop_loop(self) -> None:
+        if self._loop is not None and self._loop.alive:
+            self._loop.interrupt("xlet stopping")
+        self._loop = None
+
+    def _control_loop(self):
+        try:
+            while not self.destroyed:
+                carousel = self.stb.tuned_carousel()
+                if carousel is None:
+                    return  # untuned/off: the Xlet is about to be killed
+                config = yield carousel.read(CONFIG_FILE)
+                if config.version <= self._last_config_version:
+                    continue
+                self._last_config_version = config.version
+                control = config.metadata.get("control")
+                if control is None:
+                    continue
+                payload, signature = control
+                fetch = None
+                if isinstance(payload, WakeupPayload):
+                    fetch = self._image_fetcher(payload.image_name)
+                self.pna.deliver_control(payload, signature,
+                                         fetch_image=fetch)
+        except Interrupt:
+            pass
+
+    def _image_fetcher(self, image_name: str):
+        def fetch():
+            carousel = self.stb.tuned_carousel()
+            if carousel is None:
+                failed = self.sim.event("image-fetch-failed")
+                failed.fail(OddCIError("receiver lost the carousel"))
+                return failed
+            return carousel.read(image_name)
+
+        return fetch
+
+
+class OddCIDTVSystem:
+    """A complete OddCI-DTV deployment (multiplex → STB fleet).
+
+    Parameters
+    ----------
+    beta_bps:
+        Spare data capacity β of the OddCI service.
+    delta_bps / delta_latency_s:
+        Per-receiver direct channel (home broadband).
+    """
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        *,
+        beta_bps: float = 1_000_000.0,
+        av_rate_bps: float = 12_000_000.0,
+        mux_rate_bps: float = 19_000_000.0,
+        delta_bps: float = 150_000.0,
+        delta_latency_s: float = 0.05,
+        probability_policy: Optional[ProbabilityPolicy] = None,
+        maintenance_interval_s: float = 60.0,
+        pna_xlet_bits: float = bits_from_bytes(256 * 1024),
+        seed: Optional[int] = 0,
+    ) -> None:
+        self.sim = sim or Simulator(seed=seed)
+        self.delta_bps = float(delta_bps)
+        self.delta_latency_s = float(delta_latency_s)
+        self.router = Router(self.sim)
+        self.keys = KeyRegistry()
+        self.mux = Multiplex(self.sim, total_rate_bps=mux_rate_bps)
+        self.service = self.mux.add_service(
+            "oddci-dtv", av_rate_bps=av_rate_bps, data_rate_bps=beta_bps)
+        self._pna_of_stb: Dict[str, PNA] = {}
+        self.control_plane = CarouselControlPlane(
+            self.sim, self.service,
+            xlet_factory=self._make_xlet,
+            pna_xlet_bits=pna_xlet_bits)
+        self.controller = Controller(
+            self.sim, self.router, self.control_plane, self.keys,
+            probability_policy=probability_policy,
+            maintenance_interval_s=maintenance_interval_s)
+        self.provider = Provider(self.sim, self.controller)
+        self.boxes: List[SetTopBox] = []
+
+    # -- xlet factory (metadata of pna.bin) -------------------------------------
+    def _make_xlet(self, sim: Simulator, stb: SetTopBox) -> PNAXlet:
+        pna = self._pna_of_stb.get(stb.stb_id)
+        if pna is None:
+            raise OddCIError(
+                f"receiver {stb.stb_id!r} has no registered PNA core")
+        return PNAXlet(sim, stb, pna)
+
+    # -- fleet construction -------------------------------------------------------
+    def add_receivers(
+        self,
+        n: int,
+        *,
+        in_use_fraction: float = 1.0,
+        profile: DeviceProfile = REFERENCE_STB,
+        heartbeat_interval_s: float = 60.0,
+        dve_poll_interval_s: float = 15.0,
+        churn: Optional[ChurnModel] = None,
+    ) -> List[SetTopBox]:
+        """Build ``n`` set-top boxes tuned to the OddCI service.
+
+        Each gets a direct channel, a PNA core (offline until its Xlet
+        starts) and — because the AIT already signals the PNA Xlet as
+        AUTOSTART — immediately begins loading the Xlet from the
+        carousel.
+        """
+        if n <= 0:
+            raise ConfigurationError(f"n must be > 0, got {n}")
+        if not 0.0 <= in_use_fraction <= 1.0:
+            raise ConfigurationError("in_use_fraction must be in [0, 1]")
+        rng = self.sim.rng("dtv-system.population")
+        created: List[SetTopBox] = []
+        for _ in range(n):
+            idx = len(self.boxes)
+            channel = DuplexChannel(
+                self.sim, rate_bps=self.delta_bps,
+                latency_s=self.delta_latency_s, name=f"stb{idx}.direct")
+            mode = (PowerMode.IN_USE if rng.random() < in_use_fraction
+                    else PowerMode.STANDBY)
+            stb = SetTopBox(self.sim, stb_id=f"stb-{idx}",
+                            direct_channel=channel, profile=profile,
+                            mode=mode)
+            pna = PNA(
+                self.sim, stb.stb_id,
+                router=self.router, channel=channel,
+                controller_key=self.keys.key_of(
+                    self.controller.controller_id),
+                controller_id=self.controller.controller_id,
+                capabilities={"memory_mb": 256, "middleware": "ginga",
+                              "device": profile.name},
+                executor=stb.execution_time,
+                heartbeat_interval_s=heartbeat_interval_s,
+                dve_poll_interval_s=dve_poll_interval_s,
+                start_online=False)
+            self._pna_of_stb[stb.stb_id] = pna
+            stb.tune(self.service)
+            self.boxes.append(stb)
+            created.append(stb)
+            if churn is not None:
+                self.sim.process(self._churn_proc(stb, churn))
+        return created
+
+    def _churn_proc(self, stb: SetTopBox, model: ChurnModel):
+        rng = self.sim.rng("dtv-system.churn")
+        nominal = stb.mode if stb.powered else PowerMode.IN_USE
+        if rng.random() >= model.start_on_probability():
+            stb.set_mode(PowerMode.OFF)
+        while True:
+            if stb.powered:
+                yield model.sample_on(rng)
+                stb.set_mode(PowerMode.OFF)
+            else:
+                yield model.sample_off(rng)
+                stb.set_mode(nominal)
+
+    # -- stats ----------------------------------------------------------------------
+    def pna_of(self, stb: SetTopBox) -> PNA:
+        return self._pna_of_stb[stb.stb_id]
+
+    def busy_count(self) -> int:
+        from repro.core.messages import PNAState
+
+        return sum(1 for p in self._pna_of_stb.values()
+                   if p.online and p.state is PNAState.BUSY)
+
+    def online_count(self) -> int:
+        return sum(1 for p in self._pna_of_stb.values() if p.online)
+
+
+class FanoutControlPlane(ControlPlane):
+    """Publishes every control message through several per-service planes.
+
+    Section 4.3: "multiple channels to distribute the trigger
+    application (PNA Xlet) increases the potential number of receivers
+    connected, with a direct impact on the maximum size of the
+    OddCI-DTV systems that can be instantiated."  One Controller drives
+    k carousels; each receiver only listens to the channel it is tuned
+    to, but the wakeup reaches the union of the audiences.
+    """
+
+    def __init__(self, planes):
+        if not planes:
+            raise ConfigurationError("fan-out needs at least one plane")
+        self.planes = list(planes)
+
+    def publish_wakeup(self, payload: WakeupPayload,
+                       signature: bytes) -> None:
+        for plane in self.planes:
+            plane.publish_wakeup(payload, signature)
+
+    def publish_reset(self, payload: ResetPayload,
+                      signature: bytes) -> None:
+        for plane in self.planes:
+            plane.publish_reset(payload, signature)
+
+
+class MultiChannelOddCIDTVSystem:
+    """OddCI-DTV across several TV services (channels).
+
+    One Controller/Provider pair; one multiplex, carousel and control
+    plane per channel; receivers distributed over the channels by
+    audience share.  Everything else — heartbeats, backends, direct
+    channels — is unchanged, so the only scale effect is the one the
+    paper predicts: the reachable population is the sum of the
+    channels' audiences.
+    """
+
+    def __init__(
+        self,
+        n_channels: int,
+        sim: Optional[Simulator] = None,
+        *,
+        beta_bps: float = 1_000_000.0,
+        av_rate_bps: float = 12_000_000.0,
+        delta_bps: float = 150_000.0,
+        delta_latency_s: float = 0.05,
+        probability_policy: Optional[ProbabilityPolicy] = None,
+        maintenance_interval_s: float = 60.0,
+        pna_xlet_bits: float = bits_from_bytes(256 * 1024),
+        seed: Optional[int] = 0,
+    ) -> None:
+        if n_channels <= 0:
+            raise ConfigurationError("n_channels must be > 0")
+        self.sim = sim or Simulator(seed=seed)
+        self.delta_bps = float(delta_bps)
+        self.delta_latency_s = float(delta_latency_s)
+        self.router = Router(self.sim)
+        self.keys = KeyRegistry()
+        self._pna_of_stb: Dict[str, PNA] = {}
+        self.services = []
+        planes = []
+        for i in range(n_channels):
+            mux = Multiplex(self.sim,
+                            total_rate_bps=av_rate_bps + beta_bps,
+                            name=f"mux-{i}")
+            service = mux.add_service(f"oddci-ch{i}",
+                                      av_rate_bps=av_rate_bps,
+                                      data_rate_bps=beta_bps)
+            planes.append(CarouselControlPlane(
+                self.sim, service, xlet_factory=self._make_xlet,
+                pna_xlet_bits=pna_xlet_bits))
+            self.services.append(service)
+        self.planes = planes
+        self.control_plane = FanoutControlPlane(planes)
+        self.controller = Controller(
+            self.sim, self.router, self.control_plane, self.keys,
+            probability_policy=probability_policy,
+            maintenance_interval_s=maintenance_interval_s)
+        self.provider = Provider(self.sim, self.controller)
+        self.boxes: List[SetTopBox] = []
+
+    def _make_xlet(self, sim: Simulator, stb: SetTopBox) -> PNAXlet:
+        pna = self._pna_of_stb.get(stb.stb_id)
+        if pna is None:
+            raise OddCIError(
+                f"receiver {stb.stb_id!r} has no registered PNA core")
+        return PNAXlet(sim, stb, pna)
+
+    def add_receivers(
+        self,
+        n: int,
+        *,
+        channel_weights: Optional[List[float]] = None,
+        in_use_fraction: float = 1.0,
+        profile: DeviceProfile = REFERENCE_STB,
+        heartbeat_interval_s: float = 60.0,
+        dve_poll_interval_s: float = 15.0,
+    ) -> List[SetTopBox]:
+        """Distribute ``n`` receivers over the channels by audience share."""
+        if n <= 0:
+            raise ConfigurationError(f"n must be > 0, got {n}")
+        weights = channel_weights or [1.0] * len(self.services)
+        if len(weights) != len(self.services) or min(weights) < 0 or \
+                sum(weights) <= 0:
+            raise ConfigurationError("bad channel_weights")
+        import numpy as _np
+
+        probs = _np.asarray(weights, dtype=float)
+        probs = probs / probs.sum()
+        rng = self.sim.rng("multichannel.population")
+        created: List[SetTopBox] = []
+        for _ in range(n):
+            idx = len(self.boxes)
+            service = self.services[int(rng.choice(len(probs), p=probs))]
+            channel = DuplexChannel(
+                self.sim, rate_bps=self.delta_bps,
+                latency_s=self.delta_latency_s, name=f"stb{idx}.direct")
+            mode = (PowerMode.IN_USE if rng.random() < in_use_fraction
+                    else PowerMode.STANDBY)
+            stb = SetTopBox(self.sim, stb_id=f"stb-{idx}",
+                            direct_channel=channel, profile=profile,
+                            mode=mode)
+            pna = PNA(
+                self.sim, stb.stb_id,
+                router=self.router, channel=channel,
+                controller_key=self.keys.key_of(
+                    self.controller.controller_id),
+                controller_id=self.controller.controller_id,
+                capabilities={"memory_mb": 256, "middleware": "ginga"},
+                executor=stb.execution_time,
+                heartbeat_interval_s=heartbeat_interval_s,
+                dve_poll_interval_s=dve_poll_interval_s,
+                start_online=False)
+            self._pna_of_stb[stb.stb_id] = pna
+            stb.tune(service)
+            self.boxes.append(stb)
+            created.append(stb)
+        return created
+
+    def busy_count(self) -> int:
+        from repro.core.messages import PNAState
+
+        return sum(1 for p in self._pna_of_stb.values()
+                   if p.online and p.state is PNAState.BUSY)
+
+    def online_count(self) -> int:
+        return sum(1 for p in self._pna_of_stb.values() if p.online)
+
+    def audience_per_channel(self) -> List[int]:
+        counts = [0] * len(self.services)
+        for stb in self.boxes:
+            if stb.service is not None:
+                counts[self.services.index(stb.service)] += 1
+        return counts

@@ -1,0 +1,99 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Subsystems raise the most specific subclass available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event-simulation kernel errors."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled at an invalid time (e.g. in the past)."""
+
+
+class CancelledError(SimulationError):
+    """A process or pending event was cancelled before it completed."""
+
+
+class ProcessError(SimulationError):
+    """A simulated process raised or was misused (e.g. bad yield value)."""
+
+
+class ResourceError(SimulationError):
+    """Invalid use of a simulated resource (double release, bad capacity)."""
+
+
+class NetworkError(ReproError):
+    """Base class for the communication substrate."""
+
+
+class LinkDownError(NetworkError):
+    """A transfer was attempted on a link that is down."""
+
+
+class MessageTooLargeError(NetworkError):
+    """A message exceeds the maximum transfer unit of its channel."""
+
+
+class SignatureError(NetworkError):
+    """A broadcast control message failed signature verification."""
+
+
+class CarouselError(ReproError):
+    """Base class for DSM-CC object-carousel errors."""
+
+
+class FileNotInCarouselError(CarouselError):
+    """A receiver asked for a file the carousel does not currently carry."""
+
+
+class DTVError(ReproError):
+    """Base class for the digital-TV substrate."""
+
+
+class XletStateError(DTVError):
+    """An Xlet lifecycle method was invoked from an illegal state."""
+
+
+class TuningError(DTVError):
+    """A receiver attempted to tune to an unknown service/channel."""
+
+
+class OddCIError(ReproError):
+    """Base class for the OddCI core architecture."""
+
+
+class InstanceError(OddCIError):
+    """Invalid operation on an OddCI instance (unknown id, bad state...)."""
+
+
+class ProvisioningError(OddCIError):
+    """The provider could not satisfy an instance creation request."""
+
+
+class BackendError(OddCIError):
+    """Task scheduling / result collection failure in the backend."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload specification (job/task construction errors)."""
+
+
+class BaselineError(ReproError):
+    """Errors raised by the comparison DCI models (voluntary/grid/IaaS)."""
+
+
+class AnalysisError(ReproError):
+    """Errors from the analytical models / statistics helpers."""
+
+
+class ConfigurationError(ReproError):
+    """A component received an invalid configuration value."""

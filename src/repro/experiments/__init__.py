@@ -1,0 +1,56 @@
+"""Experiment drivers — one per paper artifact (see DESIGN.md §5).
+
+| id | artifact | driver |
+|----|----------|--------|
+| T1 | Table I   | :func:`~repro.experiments.table1.run_table1` |
+| T2 | Table II  | :func:`~repro.experiments.table2.run_table2` |
+| T3 | Table III | :func:`~repro.experiments.table3.run_table3` |
+| W  | §5.1      | :func:`~repro.experiments.wakeup.run_wakeup_sweep` |
+| F6 | Figure 6  | :func:`~repro.experiments.fig6.run_fig6` |
+| F7 | Figure 7  | :func:`~repro.experiments.fig7.run_fig7` |
+| A1–A5 | ablations | :mod:`~repro.experiments.ablations` |
+| S  | scalability | :func:`~repro.experiments.scalability.run_scalability` |
+
+A4 (heartbeat aggregation) and A5 (tail replication) evaluate the
+extensions this reproduction adds beyond the paper's own evaluation.
+"""
+
+from repro.experiments.ablations import (
+    run_aggregation_ablation,
+    run_carousel_composition,
+    run_heartbeat_intervals,
+    run_probability_policies,
+    run_replication_ablation,
+    run_plane_comparison,
+    render_ablation,
+)
+from repro.experiments.fig6 import render_fig6, run_fig6
+from repro.experiments.fig7 import render_fig7, run_fig7
+from repro.experiments.scalability import render_scalability, run_scalability
+from repro.experiments.table1 import render_table1, run_table1
+from repro.experiments.table2 import (
+    TABLE2_CONFIGS,
+    render_table2,
+    run_table2,
+    summarize_table2,
+)
+from repro.experiments.table3 import TABLE3_CONFIGS, render_table3, run_table3
+from repro.experiments.wakeup import (
+    event_tier_wakeup_mean,
+    render_wakeup,
+    run_wakeup_sweep,
+)
+
+__all__ = [
+    "run_table1", "render_table1",
+    "run_table2", "render_table2", "summarize_table2", "TABLE2_CONFIGS",
+    "run_table3", "render_table3", "TABLE3_CONFIGS",
+    "run_wakeup_sweep", "render_wakeup", "event_tier_wakeup_mean",
+    "run_fig6", "render_fig6",
+    "run_fig7", "render_fig7",
+    "run_carousel_composition", "run_probability_policies",
+    "run_heartbeat_intervals", "run_aggregation_ablation",
+    "run_replication_ablation", "run_plane_comparison",
+    "render_ablation",
+    "run_scalability", "render_scalability",
+]

@@ -1,0 +1,92 @@
+"""Experiment F7 — Figure 7: makespan for the Figure 6 scenario.
+
+Same sweep as Figure 6 (Φ ∈ 10⁰..10⁵, n/N ∈ {1, 10, 100, 1000}), but
+reporting the Equation 1 makespan (log-scale in the paper's plot) plus
+the vector-simulated makespan for selected ratios.
+
+Expected shape: makespan grows linearly in Φ once compute dominates,
+and high efficiency (large n/N · large Φ) is paid for with a long
+makespan — the efficiency/performance trade-off of Section 5.2.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.models import (
+    OddCIParameters,
+    makespan_model,
+    p_from_phi,
+)
+from repro.analysis.report import format_seconds, render_series
+from repro.experiments.fig6 import IMAGE_BITS, IO_BITS, PARAMS, PHI_GRID, RATIOS
+from repro.net.message import KILOBYTE, MEGABYTE
+from repro.vector.population import VectorOddCI, VectorPopulation
+from repro.workloads.bot import bag_from_phi
+
+__all__ = ["run_fig7", "render_fig7"]
+
+
+def run_fig7(
+    *,
+    sim_nodes: int = 200,
+    sim_ratios: tuple = (10, 100),
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """One record per (Φ, n/N): analytic makespan (+ simulated)."""
+    records: List[Dict[str, float]] = []
+    for ratio in RATIOS:
+        for phi in PHI_GRID:
+            p = p_from_phi(phi, IO_BITS, PARAMS.delta_bps)
+            n_tasks = ratio * sim_nodes
+            analytic = makespan_model(
+                image_bits=IMAGE_BITS, n_tasks=n_tasks, n_nodes=sim_nodes,
+                io_bits=IO_BITS, p_seconds=p, params=PARAMS)
+            record: Dict[str, float] = {
+                "phi": phi, "ratio": ratio, "makespan_analytic_s": analytic,
+            }
+            if ratio in sim_ratios:
+                record["makespan_sim_s"] = _simulate(
+                    phi, ratio, sim_nodes, seed)
+            records.append(record)
+    return records
+
+
+def _simulate(phi: float, ratio: int, n_nodes: int, seed: int) -> float:
+    # Reference-profile nodes: the analytic p is defined on the node
+    # itself (see fig6._simulate).
+    from repro.workloads.devices import REFERENCE_PC
+
+    pop = VectorPopulation(
+        max(4 * n_nodes, 1000), np.random.default_rng(seed),
+        in_use_fraction=1.0, profile=REFERENCE_PC)
+    system = VectorOddCI(pop, beta_bps=PARAMS.beta_bps,
+                         delta_bps=PARAMS.delta_bps)
+    job = bag_from_phi(ratio * n_nodes, phi, delta_bps=PARAMS.delta_bps,
+                       io_bits=IO_BITS, image_bits=IMAGE_BITS)
+    return system.run_job(job, target_size=n_nodes).makespan_s
+
+
+def render_fig7(records: List[Dict[str, float]]) -> str:
+    """ASCII rendering of the Figure 7 sweep (log-y sparklines)."""
+    phis = sorted({r["phi"] for r in records})
+    series = {
+        f"n/N={ratio}": [r["makespan_analytic_s"] for r in records
+                         if r["ratio"] == ratio]
+        for ratio in RATIOS
+    }
+    out = [render_series(
+        [f"{p:.3g}" for p in phis], series, x_label="phi", log_y=True,
+        title="Figure 7 — makespan vs phi (log-y; same scenario as Fig 6)")]
+    sim_records = [r for r in records if "makespan_sim_s" in r]
+    if sim_records:
+        out.append("")
+        out.append("vector-simulation cross-check:")
+        for r in sim_records:
+            out.append(
+                f"  phi={r['phi']:>10.3g} n/N={r['ratio']:>5} "
+                f"analytic={format_seconds(r['makespan_analytic_s'])} "
+                f"simulated={format_seconds(r['makespan_sim_s'])}")
+    return "\n".join(out)

@@ -1,0 +1,40 @@
+"""Communication substrate: messages, direct channels and broadcast.
+
+* :class:`~repro.net.message.Message` — typed payloads with wire sizes.
+* :class:`~repro.net.link.Link` / ``DuplexChannel`` — the per-PNA direct
+  channels of capacity δ.
+* :class:`~repro.net.broadcast.BroadcastChannel` — the one-to-many medium
+  of spare capacity β.
+* :mod:`~repro.net.crypto` — simulated signing so PNAs only accept
+  messages from their associated Controller.
+"""
+
+from repro.net.broadcast import BroadcastChannel
+from repro.net.crypto import KeyRegistry, canonicalize, sign, verify
+from repro.net.link import DuplexChannel, Link, kbps, mbps
+from repro.net.message import (
+    DEFAULT_HEADER_BITS,
+    KILOBYTE,
+    MEGABYTE,
+    Message,
+    bits_from_bytes,
+    bytes_from_bits,
+)
+
+__all__ = [
+    "Message",
+    "bits_from_bytes",
+    "bytes_from_bits",
+    "KILOBYTE",
+    "MEGABYTE",
+    "DEFAULT_HEADER_BITS",
+    "Link",
+    "DuplexChannel",
+    "kbps",
+    "mbps",
+    "BroadcastChannel",
+    "KeyRegistry",
+    "sign",
+    "verify",
+    "canonicalize",
+]

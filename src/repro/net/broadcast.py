@@ -1,0 +1,111 @@
+"""Broadcast channel — the one-to-many medium of the OddCI architecture.
+
+A :class:`BroadcastChannel` has a *spare capacity* ``beta_bps`` (the
+paper's β: the bandwidth left over by audio/video programming that data
+services may use).  Any number of listeners subscribe; a transmission of
+``S`` bits completes for **all** tuned listeners ``S/β`` seconds after it
+starts — that simultaneity is exactly what distinguishes broadcast from
+the point-to-point world and is the architectural lever of the paper.
+
+The channel serializes transmissions FIFO (a single multiplex).  Higher
+layers (the DSM-CC carousel) schedule *cyclic* content on top of this
+primitive.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.net.message import Message
+from repro.sim.core import Event, Simulator
+
+__all__ = ["BroadcastChannel", "Listener"]
+
+Listener = Callable[[Message], None]
+
+
+class BroadcastChannel:
+    """One-to-many channel with spare capacity ``beta_bps``.
+
+    Listeners subscribe with a callback; :meth:`transmit` delivers the
+    message to every listener subscribed *at delivery time* (a receiver
+    that tunes in mid-transmission misses it — carousel cycling exists
+    precisely to repair that, and is modelled in
+    :mod:`repro.carousel`).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        beta_bps: float,
+        *,
+        name: str = "broadcast",
+    ) -> None:
+        if beta_bps <= 0:
+            raise ConfigurationError(f"beta_bps must be > 0, got {beta_bps}")
+        self.sim = sim
+        self.beta_bps = float(beta_bps)
+        self.name = name
+        self._listeners: dict[int, Listener] = {}
+        self._next_token = 0
+        self._busy_until = sim.now
+        self._transmissions = 0
+        self._bits_sent = 0.0
+
+    # -- subscription ----------------------------------------------------
+    def subscribe(self, listener: Listener) -> int:
+        """Register a delivery callback; returns an unsubscribe token."""
+        token = self._next_token
+        self._next_token += 1
+        self._listeners[token] = listener
+        return token
+
+    def unsubscribe(self, token: int) -> None:
+        """Remove a listener (idempotent)."""
+        self._listeners.pop(token, None)
+
+    @property
+    def listener_count(self) -> int:
+        return len(self._listeners)
+
+    @property
+    def transmissions(self) -> int:
+        return self._transmissions
+
+    @property
+    def bits_sent(self) -> float:
+        return self._bits_sent
+
+    @property
+    def busy_until(self) -> float:
+        """Time at which the multiplex becomes free."""
+        return max(self._busy_until, self.sim.now)
+
+    # -- transmission ------------------------------------------------------
+    def airtime(self, size_bits: float) -> float:
+        """Seconds of channel time needed for ``size_bits``."""
+        if size_bits < 0:
+            raise ConfigurationError(f"negative size {size_bits!r}")
+        return size_bits / self.beta_bps
+
+    def transmit(self, message: Message) -> Event:
+        """Broadcast ``message``; event succeeds at delivery time.
+
+        Delivery is simultaneous at all currently subscribed listeners.
+        """
+        start = max(self._busy_until, self.sim.now)
+        done = start + self.airtime(message.size_bits)
+        self._busy_until = done
+        self._bits_sent += message.size_bits
+        ev = self.sim.event(name=f"{self.name}.tx#{message.msg_id}")
+        self.sim.schedule_at(done, self._deliver, message, ev)
+        return ev
+
+    def _deliver(self, message: Message, ev: Event) -> None:
+        self._transmissions += 1
+        # Snapshot so subscription changes from callbacks don't mutate
+        # the iteration.
+        for listener in list(self._listeners.values()):
+            listener(message)
+        ev.succeed(message)

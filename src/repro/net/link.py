@@ -1,0 +1,195 @@
+"""Point-to-point links — the paper's *direct channels*.
+
+Each PNA has an individual full-duplex channel of capacity δ bps linking
+it to the Controller and the Backend.  A :class:`Link` is one direction;
+a :class:`DuplexChannel` pairs two links.
+
+The transfer model is store-and-forward: a message of ``S`` bits on a
+link of rate ``R`` with propagation latency ``L`` completes ``S/R + L``
+seconds after its serialization starts.  The link serializes messages one
+at a time in FIFO order (it is a single-server queue), which is what a
+DSL uplink does.  Optional i.i.d. loss drops messages after
+serialization; the completion event then *fails* with
+:class:`~repro.errors.LinkDownError` if ``fail_on_loss`` else silently
+never delivers (heartbeat-style fire-and-forget).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.errors import ConfigurationError, LinkDownError, NetworkError
+from repro.net.message import Message
+from repro.sim.core import Event, Simulator
+
+__all__ = ["Link", "DuplexChannel", "kbps", "mbps"]
+
+
+def kbps(value: float) -> float:
+    """Kilobits per second → bits per second."""
+    return float(value) * 1_000.0
+
+
+def mbps(value: float) -> float:
+    """Megabits per second → bits per second."""
+    return float(value) * 1_000_000.0
+
+
+class Link:
+    """Unidirectional FIFO link with finite rate and propagation latency.
+
+    Parameters
+    ----------
+    rate_bps:
+        Serialization rate in bits/second (the paper's δ for direct
+        channels).
+    latency_s:
+        One-way propagation delay added after serialization.
+    loss:
+        Probability that a message is lost in flight (i.i.d. per message).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float,
+        latency_s: float = 0.0,
+        *,
+        loss: float = 0.0,
+        name: str = "link",
+        rng_stream: Optional[str] = None,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ConfigurationError(f"rate_bps must be > 0, got {rate_bps}")
+        if latency_s < 0:
+            raise ConfigurationError(f"latency_s must be >= 0, got {latency_s}")
+        if not 0.0 <= loss < 1.0:
+            raise ConfigurationError(f"loss must be in [0, 1), got {loss}")
+        self.sim = sim
+        self.rate_bps = float(rate_bps)
+        self.latency_s = float(latency_s)
+        self.loss = float(loss)
+        self.name = name
+        self._rng_stream = rng_stream or f"link:{name}"
+        self._busy_until = sim.now
+        self._up = True
+        self._delivered = 0
+        self._dropped = 0
+        self._bits_sent = 0.0
+        self._receiver: Optional[Callable[[Message], None]] = None
+
+    # -- state ---------------------------------------------------------
+    @property
+    def up(self) -> bool:
+        return self._up
+
+    def set_up(self, up: bool) -> None:
+        """Administratively enable/disable the link (models node power)."""
+        self._up = bool(up)
+        if not up:
+            # Anything queued behind the serialization point stays queued
+            # in the sender's model; the link itself is memoryless.
+            self._busy_until = self.sim.now
+
+    @property
+    def delivered(self) -> int:
+        return self._delivered
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped
+
+    @property
+    def bits_sent(self) -> float:
+        return self._bits_sent
+
+    @property
+    def utilization_horizon(self) -> float:
+        """Simulated time until which the serializer is committed."""
+        return max(self._busy_until, self.sim.now)
+
+    def attach(self, receiver: Callable[[Message], None]) -> None:
+        """Register the delivery callback (the receiving component)."""
+        self._receiver = receiver
+
+    # -- transfer --------------------------------------------------------
+    def serialization_time(self, message: Message) -> float:
+        """Time to clock the message onto the wire."""
+        return message.size_bits / self.rate_bps
+
+    def send(self, message: Message, *, fail_on_loss: bool = False) -> Event:
+        """Queue ``message`` for transmission; returns a completion event.
+
+        The event succeeds with the message at delivery time; on loss it
+        either fails (``fail_on_loss``) or never settles.  Sending on a
+        downed link fails immediately.
+        """
+        ev = self.sim.event(name=f"{self.name}.send#{message.msg_id}")
+        if not self._up:
+            self.sim.schedule(0.0, ev.fail,
+                              LinkDownError(f"link {self.name!r} is down"))
+            return ev
+        start = max(self._busy_until, self.sim.now)
+        done_serializing = start + self.serialization_time(message)
+        self._busy_until = done_serializing
+        self._bits_sent += message.size_bits
+        deliver_at = done_serializing + self.latency_s
+
+        lost = False
+        if self.loss > 0.0:
+            lost = bool(self.sim.rng(self._rng_stream).random() < self.loss)
+
+        if lost:
+            self._dropped += 1
+            if fail_on_loss:
+                self.sim.schedule_at(
+                    deliver_at, ev.fail,
+                    LinkDownError(f"message {message.msg_id} lost on "
+                                  f"{self.name!r}"))
+            return ev
+
+        self.sim.schedule_at(deliver_at, self._deliver, message, ev)
+        return ev
+
+    def _deliver(self, message: Message, ev: Event) -> None:
+        self._delivered += 1
+        if self._receiver is not None:
+            self._receiver(message)
+        ev.succeed(message)
+
+    def transfer_time(self, size_bits: float) -> float:
+        """Unloaded end-to-end time for an abstract payload of this size."""
+        if size_bits < 0:
+            raise NetworkError(f"negative size {size_bits!r}")
+        return size_bits / self.rate_bps + self.latency_s
+
+
+class DuplexChannel:
+    """A full-duplex direct channel: independent uplink and downlink.
+
+    This is the per-PNA channel from the paper (capacity δ each way).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float,
+        latency_s: float = 0.0,
+        *,
+        loss: float = 0.0,
+        name: str = "channel",
+    ) -> None:
+        self.name = name
+        self.uplink = Link(sim, rate_bps, latency_s, loss=loss,
+                           name=f"{name}.up")
+        self.downlink = Link(sim, rate_bps, latency_s, loss=loss,
+                             name=f"{name}.down")
+
+    def set_up(self, up: bool) -> None:
+        self.uplink.set_up(up)
+        self.downlink.set_up(up)
+
+    @property
+    def up(self) -> bool:
+        return self.uplink.up and self.downlink.up

@@ -1,0 +1,89 @@
+"""Typed messages with explicit wire sizes.
+
+Every message that crosses a simulated channel declares its payload size
+in bits so link/broadcast models can compute serialization delays.  A
+small fixed header overhead models framing/addressing.
+
+Sizes are expressed in *bits* throughout the library (the paper's β and δ
+are bit rates); helpers convert from bytes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Message",
+    "bits_from_bytes",
+    "bytes_from_bits",
+    "KILOBYTE",
+    "MEGABYTE",
+    "DEFAULT_HEADER_BITS",
+]
+
+#: Bits in a kilobyte / megabyte of payload (power-of-two convention, as
+#: used by the paper's "10 Mbytes image" examples).
+KILOBYTE = 1024 * 8
+MEGABYTE = 1024 * 1024 * 8
+
+#: Fixed per-message framing overhead (addressing, type tag, signature).
+DEFAULT_HEADER_BITS = 64 * 8
+
+_msg_ids = itertools.count(1)
+
+
+def bits_from_bytes(n_bytes: float) -> float:
+    """Convert a size in bytes to bits."""
+    if n_bytes < 0:
+        raise ConfigurationError(f"negative size {n_bytes!r}")
+    return float(n_bytes) * 8.0
+
+
+def bytes_from_bits(n_bits: float) -> float:
+    """Convert a size in bits to bytes."""
+    if n_bits < 0:
+        raise ConfigurationError(f"negative size {n_bits!r}")
+    return float(n_bits) / 8.0
+
+
+@dataclass
+class Message:
+    """Base class for everything that traverses a simulated channel.
+
+    Attributes
+    ----------
+    sender / recipient:
+        Logical component identifiers (strings); broadcast messages use
+        recipient ``"*"``.
+    payload_bits:
+        Size of the body in bits, excluding the fixed header.
+    payload:
+        Arbitrary structured content (dicts, dataclasses); carried by
+        reference — the simulation charges time only for ``size_bits``.
+    """
+
+    sender: str = ""
+    recipient: str = "*"
+    payload_bits: float = 0.0
+    payload: Any = None
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    created_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.payload_bits < 0:
+            raise ConfigurationError(
+                f"payload_bits must be >= 0, got {self.payload_bits!r}")
+
+    @property
+    def size_bits(self) -> float:
+        """Total wire size including framing overhead."""
+        return self.payload_bits + DEFAULT_HEADER_BITS
+
+    def stamped(self, now: float) -> "Message":
+        """Record creation time (returns self for chaining)."""
+        self.created_at = now
+        return self

@@ -1,0 +1,44 @@
+"""Discrete-event simulation kernel used by every substrate.
+
+Public surface:
+
+* :class:`~repro.sim.core.Simulator` — clock + event calendar.
+* :class:`~repro.sim.core.Event` — triggerable one-shot events.
+* :class:`~repro.sim.process.Process` / :class:`~repro.sim.process.Interrupt`
+  — generator-based processes.
+* :class:`~repro.sim.resources.Resource` / ``Store`` / ``Container``.
+* Monitors: ``TimeSeries``, ``Tally``, ``Counter``.
+"""
+
+from repro.sim.core import (
+    Event,
+    EventHandle,
+    Simulator,
+    PRIORITY_LATE,
+    PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+)
+from repro.sim.monitor import Counter, Tally, TimeSeries, summary
+from repro.sim.process import Interrupt, Process
+from repro.sim.resources import Container, Resource, Store
+from repro.sim.rng import derive_generator, derive_seed
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventHandle",
+    "Process",
+    "Interrupt",
+    "Resource",
+    "Store",
+    "Container",
+    "TimeSeries",
+    "Tally",
+    "Counter",
+    "summary",
+    "derive_seed",
+    "derive_generator",
+    "PRIORITY_URGENT",
+    "PRIORITY_NORMAL",
+    "PRIORITY_LATE",
+]

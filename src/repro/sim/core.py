@@ -1,0 +1,414 @@
+"""Discrete-event simulation kernel.
+
+The :class:`Simulator` owns a simulated clock and a binary-heap event
+calendar.  Events are ``(time, priority, seq, callback)`` tuples; ties on
+time are broken first by an explicit integer priority (lower runs first)
+and then by insertion order, which makes runs fully deterministic.
+
+Two programming styles are supported on top of this kernel:
+
+* plain callbacks scheduled with :meth:`Simulator.schedule` /
+  :meth:`Simulator.schedule_at`;
+* generator-based processes (see :mod:`repro.sim.process`) that ``yield``
+  timeouts, events and other processes.
+
+The kernel is deliberately free of any domain knowledge — the broadcast,
+carousel, DTV and OddCI layers are all built on these primitives.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import CancelledError, SchedulingError, SimulationError
+
+__all__ = [
+    "EventHandle",
+    "Event",
+    "Simulator",
+    "PRIORITY_URGENT",
+    "PRIORITY_NORMAL",
+    "PRIORITY_LATE",
+]
+
+#: Priority for bookkeeping that must run before normal events at equal time.
+PRIORITY_URGENT = 0
+#: Default priority.
+PRIORITY_NORMAL = 10
+#: Priority for events that should observe all same-time activity.
+PRIORITY_LATE = 20
+
+
+@dataclass(order=True)
+class _Entry:
+    """Internal heap entry; ordering fields first, payload excluded."""
+
+    time: float
+    priority: int
+    seq: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """Cancellable reference to a scheduled callback.
+
+    Returned by :meth:`Simulator.schedule`.  Calling :meth:`cancel`
+    guarantees that the callback will never run; cancelling an already
+    executed or cancelled handle is a no-op.
+    """
+
+    __slots__ = ("time", "callback", "args", "_cancelled", "_executed")
+
+    def __init__(self, time: float, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self._cancelled = False
+        self._executed = False
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def executed(self) -> bool:
+        return self._executed
+
+    @property
+    def pending(self) -> bool:
+        return not (self._cancelled or self._executed)
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        if not self._executed:
+            self._cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = (
+            "cancelled" if self._cancelled else
+            "executed" if self._executed else "pending"
+        )
+        return f"<EventHandle t={self.time:.6g} {state} {self.callback!r}>"
+
+
+class Event:
+    """A triggerable one-shot event that callbacks/processes can wait on.
+
+    An ``Event`` starts *pending*; :meth:`succeed` or :meth:`fail` settles
+    it exactly once, at which point every registered callback is invoked
+    *immediately in simulated time* (same timestamp, urgent priority).
+
+    Processes wait on events by yielding them; see
+    :mod:`repro.sim.process`.
+    """
+
+    __slots__ = ("sim", "_callbacks", "_ok", "_value", "_settled", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._callbacks: list[Callable[["Event"], None]] = []
+        self._ok: bool = True
+        self._value: Any = None
+        self._settled = False
+
+    # -- inspection ----------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been settled (succeed or fail)."""
+        return self._settled
+
+    @property
+    def ok(self) -> bool:
+        if not self._settled:
+            raise SimulationError("event not yet settled")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._settled:
+            raise SimulationError("event not yet settled")
+        return self._value
+
+    # -- settling ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Settle the event successfully with ``value``."""
+        self._settle(True, value)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Settle the event with an exception delivered to waiters."""
+        if not isinstance(exc, BaseException):
+            raise TypeError("Event.fail() requires an exception instance")
+        self._settle(False, exc)
+        return self
+
+    def _settle(self, ok: bool, value: Any) -> None:
+        if self._settled:
+            raise SimulationError(f"event {self.name!r} settled twice")
+        self._settled = True
+        self._ok = ok
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self.sim.schedule(0.0, cb, self, priority=PRIORITY_URGENT)
+
+    # -- waiting -------------------------------------------------------
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Register ``cb(event)`` to run when the event settles.
+
+        If the event has already settled the callback is scheduled to run
+        at the current simulated time rather than synchronously, keeping
+        re-entrancy out of user code.
+        """
+        if self._settled:
+            self.sim.schedule(0.0, cb, self, priority=PRIORITY_URGENT)
+        else:
+            self._callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "settled" if self._settled else "pending"
+        return f"<Event {self.name!r} {state}>"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulated clock (seconds).
+    seed:
+        Master seed for the named RNG streams (see :meth:`rng`).
+    trace:
+        Optional callable invoked as ``trace(time, callback, args)``
+        before each event executes — useful for debugging.
+    """
+
+    def __init__(
+        self,
+        *,
+        start_time: float = 0.0,
+        seed: Optional[int] = None,
+        trace: Optional[Callable[[float, Callable, tuple], None]] = None,
+    ) -> None:
+        if not math.isfinite(start_time):
+            raise SchedulingError("start_time must be finite")
+        self._now = float(start_time)
+        self._heap: list[_Entry] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self._events_executed = 0
+        self.trace = trace
+        self._seed = seed
+        self._rng_streams: dict[str, Any] = {}
+
+    # -- clock ---------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of callbacks executed so far (monotone counter)."""
+        return self._events_executed
+
+    @property
+    def queued_events(self) -> int:
+        """Number of pending (non-cancelled) entries in the calendar."""
+        return sum(1 for e in self._heap if e.handle.pending)
+
+    # -- scheduling ------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0 or not math.isfinite(delay):
+            raise SchedulingError(f"invalid delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback, *args,
+                                priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now or not math.isfinite(time):
+            raise SchedulingError(
+                f"cannot schedule at t={time!r} (now={self._now!r})")
+        if not callable(callback):
+            raise TypeError(f"callback must be callable, got {callback!r}")
+        handle = EventHandle(time, callback, args)
+        heapq.heappush(
+            self._heap, _Entry(time, priority, next(self._seq), handle))
+        return handle
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh :class:`Event` bound to this simulator."""
+        return Event(self, name)
+
+    # -- execution -------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``False`` when the calendar is empty, ``True`` otherwise.
+        """
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            handle = entry.handle
+            if handle.cancelled:
+                continue
+            self._now = entry.time
+            handle._executed = True
+            if self.trace is not None:
+                self.trace(self._now, handle.callback, handle.args)
+            self._events_executed += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the calendar drains or ``until`` is reached.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fires earlier.  Returns the final clock.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        if until is not None and until < self._now:
+            raise SchedulingError(
+                f"cannot run until t={until!r} (now={self._now!r})")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._heap and not self._stopped:
+                next_time = self._peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_event(self, event: Event, limit: float = math.inf) -> Any:
+        """Run until ``event`` settles; return its value (raise on failure).
+
+        ``limit`` bounds the simulated time; exceeding it raises
+        :class:`SimulationError` so a wedged protocol does not spin forever.
+        """
+        while not event.triggered:
+            if not self.step():
+                raise SimulationError(
+                    f"calendar drained before event {event.name!r} settled")
+            if self._now > limit:
+                raise SimulationError(
+                    f"time limit {limit} exceeded waiting for {event.name!r}")
+        if not event.ok:
+            raise event.value
+        return event.value
+
+    def stop(self) -> None:
+        """Ask a running :meth:`run` loop to return after the current event."""
+        self._stopped = True
+
+    def _peek_time(self) -> Optional[float]:
+        while self._heap:
+            if self._heap[0].handle.pending:
+                return self._heap[0].time
+            heapq.heappop(self._heap)
+        return None
+
+    # -- processes (provided by repro.sim.process, bound here) ----------
+    def process(self, generator) -> "Any":
+        """Launch a generator-based process; see :mod:`repro.sim.process`."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that succeeds after ``delay`` simulated seconds."""
+        ev = self.event(name=f"timeout({delay:g})")
+        self.schedule(delay, ev.succeed, value)
+        return ev
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """Event that succeeds when every input event has succeeded.
+
+        Its value is the list of individual values, in input order.  The
+        first failure fails the combined event immediately.
+        """
+        events = list(events)
+        combined = self.event(name="all_of")
+        if not events:
+            self.schedule(0.0, combined.succeed, [])
+            return combined
+        remaining = {"n": len(events)}
+
+        def _on_settle(ev: Event) -> None:
+            if combined.triggered:
+                return
+            if not ev.ok:
+                combined.fail(ev.value)
+                return
+            remaining["n"] -= 1
+            if remaining["n"] == 0:
+                combined.succeed([e.value for e in events])
+
+        for ev in events:
+            ev.add_callback(_on_settle)
+        return combined
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """Event that settles as soon as any input settles (value/failure)."""
+        events = list(events)
+        combined = self.event(name="any_of")
+        if not events:
+            raise SimulationError("any_of() requires at least one event")
+
+        def _on_settle(ev: Event) -> None:
+            if combined.triggered:
+                return
+            if ev.ok:
+                combined.succeed(ev.value)
+            else:
+                combined.fail(ev.value)
+
+        for ev in events:
+            ev.add_callback(_on_settle)
+        return combined
+
+    # -- RNG streams -----------------------------------------------------
+    def rng(self, stream: str = "default"):
+        """Return a named, deterministic :class:`numpy.random.Generator`.
+
+        Streams are derived from the simulator seed and the stream name so
+        adding a new consumer never perturbs existing streams.
+        """
+        from repro.sim.rng import derive_generator
+
+        gen = self._rng_streams.get(stream)
+        if gen is None:
+            gen = derive_generator(self._seed, stream)
+            self._rng_streams[stream] = gen
+        return gen
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Simulator t={self._now:.6g} queued={len(self._heap)} "
+                f"executed={self._events_executed}>")

@@ -1,0 +1,216 @@
+"""Measurement utilities: time series, counters and tallies.
+
+Every experiment in the benchmark harness observes the simulation through
+these monitors rather than poking at component internals, which keeps the
+observation side-effect free and the components unit-testable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+__all__ = ["TimeSeries", "Tally", "Counter", "summary"]
+
+
+class TimeSeries:
+    """Append-only (time, value) series with step-function semantics.
+
+    Used for instance sizes, queue lengths, controller load, etc.  The
+    integral/average helpers treat the series as piecewise constant
+    (value holds until the next sample).
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self._times and time < self._times[-1]:
+            raise AnalysisError(
+                f"non-monotone sample at t={time} (< {self._times[-1]})")
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=float)
+
+    def last(self) -> float:
+        if not self._values:
+            raise AnalysisError(f"time series {self.name!r} is empty")
+        return self._values[-1]
+
+    def value_at(self, time: float) -> float:
+        """Step-function value at ``time`` (last sample at or before it)."""
+        if not self._times:
+            raise AnalysisError(f"time series {self.name!r} is empty")
+        idx = int(np.searchsorted(self.times, time, side="right")) - 1
+        if idx < 0:
+            raise AnalysisError(f"t={time} precedes first sample")
+        return self._values[idx]
+
+    def time_average(self, until: Optional[float] = None) -> float:
+        """Time-weighted average of the step function up to ``until``."""
+        if len(self._times) == 0:
+            raise AnalysisError(f"time series {self.name!r} is empty")
+        t = self.times
+        v = self.values
+        end = float(until) if until is not None else t[-1]
+        if end < t[0]:
+            raise AnalysisError("until precedes first sample")
+        if end == t[0]:
+            return float(v[0])
+        cut = int(np.searchsorted(t, end, side="right"))
+        t = t[:cut]
+        v = v[:cut]
+        widths = np.diff(np.append(t, end))
+        return float(np.sum(widths * v) / (end - t[0]))
+
+    def max(self) -> float:
+        if not self._values:
+            raise AnalysisError(f"time series {self.name!r} is empty")
+        return float(np.max(self.values))
+
+    def min(self) -> float:
+        if not self._values:
+            raise AnalysisError(f"time series {self.name!r} is empty")
+        return float(np.min(self.values))
+
+
+class Tally:
+    """Streaming tally of observations (Welford's algorithm).
+
+    Constant memory; exact mean and unbiased variance without storing the
+    observations — suitable for millions of samples.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._sum = 0.0
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def record_many(self, values: Iterable[float]) -> None:
+        arr = np.asarray(list(values) if not isinstance(values, np.ndarray)
+                         else values, dtype=float)
+        if arr.size == 0:
+            return
+        # Chan et al. parallel merge of (self) and (arr) moments.
+        n_b = int(arr.size)
+        mean_b = float(arr.mean())
+        m2_b = float(((arr - mean_b) ** 2).sum())
+        n_a = self._n
+        if n_a == 0:
+            self._n, self._mean, self._m2 = n_b, mean_b, m2_b
+        else:
+            delta = mean_b - self._mean
+            total = n_a + n_b
+            self._mean += delta * n_b / total
+            self._m2 += m2_b + delta * delta * n_a * n_b / total
+            self._n = total
+        self._sum += float(arr.sum())
+        self._min = min(self._min, float(arr.min()))
+        self._max = max(self._max, float(arr.max()))
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        if self._n == 0:
+            raise AnalysisError(f"tally {self.name!r} is empty")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (n-1 denominator)."""
+        if self._n < 2:
+            raise AnalysisError(f"tally {self.name!r} needs >= 2 samples")
+        return self._m2 / (self._n - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        if self._n == 0:
+            raise AnalysisError(f"tally {self.name!r} is empty")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self._n == 0:
+            raise AnalysisError(f"tally {self.name!r} is empty")
+        return self._max
+
+
+class Counter:
+    """Named monotone counters (messages sent, tasks done, ...)."""
+
+    def __init__(self):
+        self._counts: dict[str, int] = {}
+
+    def incr(self, key: str, amount: int = 1) -> None:
+        if amount < 0:
+            raise AnalysisError(f"counter increment must be >= 0, got {amount}")
+        self._counts[key] = self._counts.get(key, 0) + amount
+
+    def __getitem__(self, key: str) -> int:
+        return self._counts.get(key, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self._counts!r})"
+
+
+def summary(values: Iterable[float]) -> dict[str, float]:
+    """One-shot summary statistics for a finite sample."""
+    arr = np.asarray(list(values) if not isinstance(values, np.ndarray)
+                     else values, dtype=float)
+    if arr.size == 0:
+        raise AnalysisError("summary() of empty sample")
+    out = {
+        "n": float(arr.size),
+        "mean": float(arr.mean()),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "median": float(np.median(arr)),
+    }
+    out["std"] = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return out

@@ -1,0 +1,155 @@
+"""Generator-based processes on top of the event kernel.
+
+A *process* is a Python generator driven by the simulator.  At each step
+it may yield:
+
+* a number — sleep that many simulated seconds;
+* an :class:`~repro.sim.core.Event` — suspend until it settles (the
+  ``yield`` expression evaluates to the event's value; a failed event
+  raises its exception inside the generator);
+* another :class:`Process` — join it (value/exception semantics as above);
+* ``None`` — yield control for zero simulated time (lets same-time events
+  interleave deterministically).
+
+A ``Process`` is itself an :class:`~repro.sim.core.Event` that settles
+with the generator's return value, so processes compose: one process can
+wait for another, and ``sim.all_of`` works on processes too.
+
+Example
+-------
+::
+
+    def worker(sim, store):
+        while True:
+            task = yield store.get()
+            yield task.duration        # compute
+            done.append(task)
+
+    sim.process(worker(sim, store))
+    sim.run()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.errors import CancelledError, ProcessError
+from repro.sim.core import Event, Simulator, PRIORITY_NORMAL
+
+__all__ = ["Process", "Interrupt"]
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator when it is interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running simulated process wrapping a generator.
+
+    Settles (as an Event) when the generator returns or raises:
+    ``StopIteration`` value on success, the exception on failure.
+    """
+
+    __slots__ = ("_gen", "_waiting_on", "_started", "name_")
+
+    def __init__(self, sim: Simulator, generator: Generator,
+                 name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise ProcessError(
+                f"Process requires a generator, got {generator!r} — "
+                "did you forget to call the generator function?")
+        super().__init__(sim, name or getattr(
+            generator, "__name__", "process"))
+        self._gen = generator
+        self._waiting_on: Optional[Event] = None
+        self._started = False
+        # Start on the next event-loop tick at the current time so the
+        # creator finishes its own step first (deterministic ordering).
+        sim.schedule(0.0, self._resume, None, None,
+                     priority=PRIORITY_NORMAL)
+
+    # -- public API ------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a
+        process that is waiting on an event detaches it from that event
+        (the event itself is unaffected).
+        """
+        if self.triggered:
+            raise ProcessError(f"cannot interrupt finished process {self.name!r}")
+        self.sim.schedule(0.0, self._do_interrupt, cause)
+
+    def _do_interrupt(self, cause: Any) -> None:
+        if self.triggered:
+            return  # finished in the meantime at the same timestamp
+        self._waiting_on = None
+        self._step_throw(Interrupt(cause))
+
+    # -- driving the generator -------------------------------------------
+    def _resume(self, event: Optional[Event], _token: Any) -> None:
+        """Advance the generator with the settled event's value."""
+        if self.triggered:
+            return
+        if event is not None and self._waiting_on is not event:
+            return  # stale wakeup: we were interrupted while waiting
+        self._waiting_on = None
+        if event is not None and not event.ok:
+            self._step_throw(event.value)
+            return
+        value = event.value if event is not None else None
+        self._step_send(value)
+
+    def _step_send(self, value: Any) -> None:
+        try:
+            target = self._gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - forward to waiters
+            self.fail(exc)
+            return
+        self._handle_yield(target)
+
+    def _step_throw(self, exc: BaseException) -> None:
+        try:
+            target = self._gen.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:  # noqa: BLE001 - forward to waiters
+            self.fail(err)
+            return
+        self._handle_yield(target)
+
+    def _handle_yield(self, target: Any) -> None:
+        sim = self.sim
+        if target is None:
+            ev = sim.timeout(0.0)
+        elif isinstance(target, Event):
+            ev = target
+        elif isinstance(target, (int, float)):
+            if target < 0:
+                self._step_throw(ProcessError(
+                    f"process yielded negative delay {target!r}"))
+                return
+            ev = sim.timeout(float(target))
+        else:
+            self._step_throw(ProcessError(
+                f"process yielded unsupported value {target!r}"))
+            return
+        self._waiting_on = ev
+        ev.add_callback(lambda e: self._resume(e, None))

@@ -1,0 +1,258 @@
+"""Simulated resources: capacity-limited servers and object stores.
+
+These primitives follow the classic process-interaction style:
+
+* :class:`Resource` — ``capacity`` identical slots; processes ``request()``
+  a slot (yielding the returned event) and must ``release()`` it.
+* :class:`Store` — an unbounded or bounded FIFO buffer of Python objects;
+  ``put()``/``get()`` return events.
+* :class:`Container` — a continuous quantity (e.g. bytes of spare
+  bandwidth) with ``put(amount)``/``get(amount)``.
+
+All wait queues are FIFO and deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from repro.errors import ResourceError
+from repro.sim.core import Event, Simulator
+
+__all__ = ["Resource", "Store", "Container"]
+
+
+class Resource:
+    """``capacity`` interchangeable slots with a FIFO wait queue.
+
+    Usage inside a process::
+
+        req = resource.request()
+        yield req
+        try:
+            yield service_time
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ResourceError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self._capacity = int(capacity)
+        self._in_use = 0
+        self._queue: Deque[Event] = deque()
+        self._granted: set[int] = set()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return sum(1 for ev in self._queue if not ev.triggered)
+
+    def request(self) -> Event:
+        """Return an event that succeeds when a slot is granted."""
+        ev = self.sim.event(name=f"{self.name}.request")
+        if self._in_use < self._capacity:
+            self._grant(ev)
+        else:
+            self._queue.append(ev)
+        return ev
+
+    def _grant(self, ev: Event) -> None:
+        self._in_use += 1
+        self._granted.add(id(ev))
+        ev.succeed(self)
+
+    def release(self, request: Event) -> None:
+        """Release the slot granted to ``request``.
+
+        Raises :class:`ResourceError` on double release or on releasing a
+        request that was never granted.
+        """
+        if id(request) not in self._granted:
+            raise ResourceError(
+                f"release of unknown/never-granted request on {self.name!r}")
+        self._granted.discard(id(request))
+        self._in_use -= 1
+        while self._queue and self._in_use < self._capacity:
+            nxt = self._queue.popleft()
+            if nxt.triggered:  # cancelled by a failed waiter
+                continue
+            self._grant(nxt)
+
+    def cancel(self, request: Event) -> None:
+        """Withdraw a queued request (granted requests must be released)."""
+        if id(request) in self._granted:
+            raise ResourceError("cannot cancel a granted request; release it")
+        try:
+            self._queue.remove(request)
+        except ValueError:
+            pass
+
+
+class Store:
+    """FIFO buffer of arbitrary items with blocking put/get.
+
+    ``capacity=None`` means unbounded.  A ``filter_fn`` passed to
+    :meth:`get` lets a consumer wait for a *matching* item (first match in
+    FIFO order) — used e.g. by backends that reserve tasks per node class.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None,
+                 name: str = ""):
+        if capacity is not None and capacity < 1:
+            raise ResourceError(f"capacity must be >= 1 or None, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[tuple[Event, Optional[Callable[[Any], bool]]]] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of buffered items (FIFO order)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; event succeeds when the item is buffered."""
+        ev = self.sim.event(name=f"{self.name}.put")
+        self._putters.append((ev, item))
+        self._dispatch()
+        return ev
+
+    def get(self, filter_fn: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Event that succeeds with the next (matching) item."""
+        ev = self.sim.event(name=f"{self.name}.get")
+        self._getters.append((ev, filter_fn))
+        self._dispatch()
+        return ev
+
+    def try_get(self, filter_fn: Optional[Callable[[Any], bool]] = None):
+        """Non-blocking get: pop and return a matching item or ``None``."""
+        for idx, item in enumerate(self._items):
+            if filter_fn is None or filter_fn(item):
+                del self._items[idx]
+                self._dispatch()
+                return item
+        return None
+
+    def _dispatch(self) -> None:
+        # Admit pending puts while capacity allows.
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and (
+                    self.capacity is None or len(self._items) < self.capacity):
+                ev, item = self._putters.popleft()
+                if ev.triggered:
+                    continue
+                self._items.append(item)
+                ev.succeed(item)
+                progressed = True
+            # Serve pending getters.
+            if self._getters and self._items:
+                served = self._serve_getters()
+                progressed = progressed or served
+
+    def _serve_getters(self) -> bool:
+        served_any = False
+        pending: Deque[tuple[Event, Optional[Callable[[Any], bool]]]] = deque()
+        while self._getters:
+            ev, filt = self._getters.popleft()
+            if ev.triggered:
+                continue
+            matched = None
+            for idx, item in enumerate(self._items):
+                if filt is None or filt(item):
+                    matched = idx
+                    break
+            if matched is None:
+                pending.append((ev, filt))
+                continue
+            item = self._items[matched]
+            del self._items[matched]
+            ev.succeed(item)
+            served_any = True
+        self._getters = pending
+        return served_any
+
+
+class Container:
+    """Continuous quantity with blocking get/put (e.g. fuel, bytes, tokens).
+
+    The level is bounded to ``[0, capacity]``; getters wait until enough
+    quantity accumulates, putters wait until there is room.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf"),
+                 init: float = 0.0, name: str = ""):
+        if capacity <= 0:
+            raise ResourceError(f"capacity must be > 0, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise ResourceError(f"init {init} outside [0, {capacity}]")
+        self.sim = sim
+        self.name = name
+        self.capacity = float(capacity)
+        self._level = float(init)
+        self._getters: Deque[tuple[Event, float]] = deque()
+        self._putters: Deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def get(self, amount: float) -> Event:
+        if amount <= 0:
+            raise ResourceError(f"get amount must be > 0, got {amount}")
+        ev = self.sim.event(name=f"{self.name}.get")
+        self._getters.append((ev, float(amount)))
+        self._dispatch()
+        return ev
+
+    def put(self, amount: float) -> Event:
+        if amount <= 0:
+            raise ResourceError(f"put amount must be > 0, got {amount}")
+        ev = self.sim.event(name=f"{self.name}.put")
+        self._putters.append((ev, float(amount)))
+        self._dispatch()
+        return ev
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                ev, amount = self._putters[0]
+                if ev.triggered:
+                    self._putters.popleft()
+                    progressed = True
+                elif self._level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += amount
+                    ev.succeed(amount)
+                    progressed = True
+            if self._getters:
+                ev, amount = self._getters[0]
+                if ev.triggered:
+                    self._getters.popleft()
+                    progressed = True
+                elif amount <= self._level:
+                    self._getters.popleft()
+                    self._level -= amount
+                    ev.succeed(amount)
+                    progressed = True

@@ -1,0 +1,49 @@
+"""Named deterministic random-number streams.
+
+Every stochastic component in the library draws from a *named stream*
+derived from a single master seed.  The derivation hashes the stream name
+into the seed sequence, so:
+
+* two simulators with the same seed produce identical runs;
+* adding a new stream (a new component) never perturbs existing streams;
+* distinct names yield statistically independent generators
+  (``numpy.random.SeedSequence`` spawning guarantees).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["derive_seed", "derive_generator", "stream_entropy"]
+
+
+def stream_entropy(name: str) -> int:
+    """Stable 128-bit integer derived from a stream name.
+
+    Uses BLAKE2b so the mapping is stable across Python processes and
+    versions (unlike the builtin ``hash``).
+    """
+    digest = hashlib.blake2b(name.encode("utf-8"), digest_size=16).digest()
+    return int.from_bytes(digest, "little")
+
+
+def derive_seed(master: Optional[int], name: str) -> np.random.SeedSequence:
+    """Build a :class:`numpy.random.SeedSequence` for ``(master, name)``.
+
+    ``master=None`` yields OS entropy (non-reproducible), still salted by
+    the stream name so concurrent streams differ.
+    """
+    salt = stream_entropy(name)
+    if master is None:
+        return np.random.SeedSequence(spawn_key=(salt & 0xFFFFFFFF,))
+    return np.random.SeedSequence(entropy=int(master) & ((1 << 128) - 1),
+                                  spawn_key=(salt & 0xFFFFFFFF,
+                                             (salt >> 32) & 0xFFFFFFFF))
+
+
+def derive_generator(master: Optional[int], name: str) -> np.random.Generator:
+    """Return a PCG64 generator for the named stream."""
+    return np.random.Generator(np.random.PCG64(derive_seed(master, name)))

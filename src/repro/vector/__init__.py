@@ -1,0 +1,30 @@
+"""Vector tier: array-based simulation of very large populations.
+
+Provides the same wakeup + pull-execution semantics as the event tier,
+computed with NumPy over millions of nodes:
+
+* :class:`~repro.vector.population.VectorPopulation` — state arrays and
+  bulk recruitment.
+* :class:`~repro.vector.population.VectorOddCI` — full job pipeline
+  (carousel wakeup sampling → greedy pull execution → efficiency).
+* :mod:`~repro.vector.executor` — exact greedy-pull makespans
+  (water-filling for homogeneous bags, heap for the general case).
+"""
+
+from repro.vector.executor import (
+    ExecutionOutcome,
+    makespan_heap,
+    makespan_waterfill,
+    per_task_wall_seconds,
+)
+from repro.vector.population import VectorJobResult, VectorOddCI, VectorPopulation
+
+__all__ = [
+    "ExecutionOutcome",
+    "makespan_waterfill",
+    "makespan_heap",
+    "per_task_wall_seconds",
+    "VectorPopulation",
+    "VectorOddCI",
+    "VectorJobResult",
+]

@@ -1,0 +1,105 @@
+"""Workloads: job model, bag-of-tasks generators, mini-BLAST, devices.
+
+* :class:`~repro.workloads.job.Job` / ``Task`` — the paper's
+  J = (I, n, T, R) tuple.
+* :mod:`~repro.workloads.bot` — uniform / log-normal / parametric /
+  Φ-parameterised bags.
+* :mod:`~repro.workloads.blast` — seed-and-extend local alignment with
+  work-unit accounting.
+* :mod:`~repro.workloads.sequences` — synthetic DNA with planted
+  homologs.
+* :mod:`~repro.workloads.devices` — reference PC / STB timing models.
+* :mod:`~repro.workloads.traces` — ON/OFF churn models.
+"""
+
+from repro.workloads.blast import (
+    REF_PC_OPS_PER_SECOND,
+    BlastDatabase,
+    BlastParams,
+    BlastResult,
+    HSP,
+    search,
+    search_both_strands,
+    smith_waterman,
+)
+from repro.workloads.blast_stats import (
+    KarlinAltschulParams,
+    bit_score,
+    compute_lambda,
+    evalue,
+    filter_significant,
+    karlin_altschul,
+    significant,
+)
+from repro.workloads.bot import (
+    bag_from_phi,
+    lognormal_bag,
+    parametric_bag,
+    phi_of_job,
+    uniform_bag,
+    weibull_bag,
+)
+from repro.workloads.devices import (
+    REFERENCE_PC,
+    REFERENCE_STB,
+    STB_IN_USE_OVER_PC,
+    STB_IN_USE_OVER_STANDBY,
+    DeviceProfile,
+    PowerMode,
+)
+from repro.workloads.job import Job, JobStats, Task
+from repro.workloads.sequences import (
+    DNA_ALPHABET,
+    decode,
+    encode,
+    mutate,
+    plant_homolog,
+    random_database,
+    random_dna,
+    reverse_complement,
+)
+from repro.workloads.traces import AvailabilityTrace, ChurnModel, generate_trace
+
+__all__ = [
+    "Job",
+    "Task",
+    "JobStats",
+    "uniform_bag",
+    "lognormal_bag",
+    "weibull_bag",
+    "parametric_bag",
+    "bag_from_phi",
+    "phi_of_job",
+    "BlastParams",
+    "BlastDatabase",
+    "BlastResult",
+    "HSP",
+    "search",
+    "search_both_strands",
+    "smith_waterman",
+    "KarlinAltschulParams",
+    "compute_lambda",
+    "karlin_altschul",
+    "evalue",
+    "bit_score",
+    "significant",
+    "filter_significant",
+    "REF_PC_OPS_PER_SECOND",
+    "DNA_ALPHABET",
+    "encode",
+    "decode",
+    "random_dna",
+    "mutate",
+    "random_database",
+    "plant_homolog",
+    "reverse_complement",
+    "DeviceProfile",
+    "PowerMode",
+    "REFERENCE_PC",
+    "REFERENCE_STB",
+    "STB_IN_USE_OVER_PC",
+    "STB_IN_USE_OVER_STANDBY",
+    "ChurnModel",
+    "AvailabilityTrace",
+    "generate_trace",
+]

@@ -1,0 +1,132 @@
+"""MTC job model — the paper's tuple J = (I, n, T, R).
+
+A *job* is an image of ``I`` bits plus ``n`` independent tasks.  Each
+task ``t`` has an input size ``t.s`` (bits fetched from the Backend), a
+processing cost ``t.p`` (seconds on the reference set-top box... the
+paper's reference processor; we express it in *reference-PC seconds* and
+let device profiles scale it), and a result size ``r`` (bits sent back).
+Parametric applications have ``t.s = 0`` — nothing to fetch.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = ["Task", "Job", "JobStats"]
+
+_job_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Task:
+    """One independent unit of work.
+
+    Attributes
+    ----------
+    task_id:
+        Index within the job.
+    input_bits:
+        ``t.s`` — input data fetched from the Backend (0 = parametric).
+    ref_seconds:
+        ``t.p`` — processing time on the reference device.
+    result_bits:
+        ``r`` — size of the produced result.
+    """
+
+    task_id: int
+    input_bits: float
+    ref_seconds: float
+    result_bits: float
+    payload: object = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.task_id < 0:
+            raise WorkloadError(f"task_id must be >= 0, got {self.task_id}")
+        if self.input_bits < 0:
+            raise WorkloadError(f"input_bits must be >= 0, got {self.input_bits}")
+        if self.ref_seconds <= 0:
+            raise WorkloadError(
+                f"ref_seconds must be > 0, got {self.ref_seconds}")
+        if self.result_bits < 0:
+            raise WorkloadError(
+                f"result_bits must be >= 0, got {self.result_bits}")
+
+    @property
+    def io_bits(self) -> float:
+        """Total bits crossing the direct channel: ``s + r``."""
+        return self.input_bits + self.result_bits
+
+
+@dataclass(frozen=True)
+class JobStats:
+    """Aggregate task statistics used by the analytical model."""
+
+    n: int
+    mean_input_bits: float
+    mean_ref_seconds: float
+    mean_result_bits: float
+
+    @property
+    def mean_io_bits(self) -> float:
+        return self.mean_input_bits + self.mean_result_bits
+
+
+@dataclass(frozen=True)
+class Job:
+    """A complete MTC job: J = (I, n, T, R).
+
+    ``requirements`` is matched against PNA capabilities during wakeup
+    (paper Section 3.2: "the PNA assesses its own compliance with the
+    requirements present in the message").
+    """
+
+    image_bits: float
+    tasks: Tuple[Task, ...]
+    job_id: int = field(default_factory=lambda: next(_job_ids))
+    name: str = ""
+    requirements: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.image_bits <= 0:
+            raise WorkloadError(
+                f"image_bits must be > 0, got {self.image_bits}")
+        if not self.tasks:
+            raise WorkloadError("a job needs at least one task")
+        ids = [t.task_id for t in self.tasks]
+        if len(set(ids)) != len(ids):
+            raise WorkloadError(f"duplicate task_ids in job: {ids[:10]}...")
+
+    @property
+    def n(self) -> int:
+        """Number of tasks."""
+        return len(self.tasks)
+
+    def stats(self) -> JobStats:
+        """Means of s, p and r over all tasks (vectorised)."""
+        s = np.fromiter((t.input_bits for t in self.tasks), dtype=float,
+                        count=self.n)
+        p = np.fromiter((t.ref_seconds for t in self.tasks), dtype=float,
+                        count=self.n)
+        r = np.fromiter((t.result_bits for t in self.tasks), dtype=float,
+                        count=self.n)
+        return JobStats(
+            n=self.n,
+            mean_input_bits=float(s.mean()),
+            mean_ref_seconds=float(p.mean()),
+            mean_result_bits=float(r.mean()),
+        )
+
+    @property
+    def is_parametric(self) -> bool:
+        """True when no task needs input staged (all ``t.s == 0``)."""
+        return all(t.input_bits == 0 for t in self.tasks)
+
+    def total_ref_seconds(self) -> float:
+        """Serial execution time on the reference device."""
+        return float(sum(t.ref_seconds for t in self.tasks))

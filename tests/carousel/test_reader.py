@@ -1,0 +1,111 @@
+"""Tests for vectorised population sampling of wakeup latencies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.carousel import (
+    CarouselFile,
+    CarouselSchedule,
+    SectionFormat,
+    sample_read_times,
+    sample_wakeup_latencies,
+)
+from repro.errors import CarouselError
+
+RAW = SectionFormat(block_payload_bytes=10**9, section_overhead_bytes=0,
+                    control_overhead_bytes=0)
+
+
+def single_file_schedule(image_bits=1_000_000.0, beta=1_000_000.0):
+    return CarouselSchedule(
+        [CarouselFile(name="image", size_bits=image_bits)],
+        beta, section_format=RAW)
+
+
+def test_sample_read_times_matches_schedule():
+    sched = single_file_schedule()
+    ts = np.array([0.0, 0.25, 0.5, 1.0, 1.75])
+    out = sample_read_times(sched, "image", ts)
+    expected = [sched.completion_time("image", float(t)) for t in ts]
+    assert np.allclose(out, expected)
+
+
+def test_sample_read_times_requires_1d():
+    sched = single_file_schedule()
+    with pytest.raises(CarouselError):
+        sample_read_times(sched, "image", np.zeros((2, 2)))
+
+
+def test_wakeup_sample_mean_converges_to_prediction():
+    sched = single_file_schedule()
+    rng = np.random.default_rng(42)
+    sample = sample_wakeup_latencies(sched, "image", 200_000, rng)
+    assert sample.n == 200_000
+    assert sample.predicted_mean == pytest.approx(1.5 * sched.cycle_time)
+    assert sample.mean == pytest.approx(sample.predicted_mean, rel=0.01)
+
+
+def test_wakeup_sample_bounds_single_file():
+    sched = single_file_schedule()
+    rng = np.random.default_rng(0)
+    sample = sample_wakeup_latencies(sched, "image", 10_000, rng)
+    # Latency in (duration, duration + cycle] == (cycle, 2*cycle] here.
+    assert sample.minimum >= sched.cycle_time - 1e-9
+    assert sample.maximum <= 2 * sched.cycle_time + 1e-9
+
+
+def test_wakeup_sample_resume_policy_constant_one_cycle():
+    sched = single_file_schedule()
+    rng = np.random.default_rng(0)
+    sample = sample_wakeup_latencies(sched, "image", 1000, rng,
+                                     policy="resume")
+    # Single-file carousel with resume: exactly one cycle for everyone.
+    assert np.allclose(sample.latencies, sched.cycle_time)
+
+
+def test_wakeup_sample_percentiles():
+    sched = single_file_schedule()
+    rng = np.random.default_rng(1)
+    sample = sample_wakeup_latencies(sched, "image", 50_000, rng)
+    p50 = sample.percentile(50)
+    assert sched.cycle_time < p50 < 2 * sched.cycle_time
+
+
+def test_wakeup_sample_validation():
+    sched = single_file_schedule()
+    rng = np.random.default_rng(0)
+    with pytest.raises(CarouselError):
+        sample_wakeup_latencies(sched, "image", 0, rng)
+    with pytest.raises(CarouselError):
+        sample_wakeup_latencies(sched, "image", 10, rng, policy="bogus")
+    with pytest.raises(CarouselError):
+        sample_wakeup_latencies(sched, "image", 10, rng, window_cycles=0)
+
+
+def test_scales_to_a_million_receivers():
+    """Requirement I smoke test: 10^6 receivers sampled in one call."""
+    sched = single_file_schedule(image_bits=8 * 1024 * 1024 * 8,
+                                 beta=1_000_000.0)
+    rng = np.random.default_rng(7)
+    sample = sample_wakeup_latencies(sched, "image", 1_000_000, rng)
+    assert sample.n == 1_000_000
+    assert sample.mean == pytest.approx(sample.predicted_mean, rel=0.01)
+
+
+@given(
+    image_mb=st.floats(min_value=0.5, max_value=32.0),
+    beta_mbps=st.floats(min_value=0.5, max_value=20.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_mean_latency_scales_as_1_5_I_over_beta(image_mb, beta_mbps):
+    image_bits = image_mb * 1024 * 1024 * 8
+    beta = beta_mbps * 1e6
+    sched = CarouselSchedule(
+        [CarouselFile(name="image", size_bits=image_bits)],
+        beta, section_format=RAW)
+    rng = np.random.default_rng(0)
+    sample = sample_wakeup_latencies(sched, "image", 20_000, rng)
+    w = 1.5 * image_bits / beta
+    assert sample.mean == pytest.approx(w, rel=0.05)

@@ -1,0 +1,154 @@
+"""Unit + property tests for the analytic carousel schedule."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.carousel import CarouselFile, CarouselSchedule, SectionFormat
+from repro.errors import CarouselError, FileNotInCarouselError
+
+# A lossless format: wire == payload, no control sections — makes hand
+# calculations exact.
+RAW = SectionFormat(block_payload_bytes=10**9, section_overhead_bytes=0,
+                    control_overhead_bytes=0)
+
+
+def simple_schedule(beta=100.0):
+    files = [
+        CarouselFile(name="pna", size_bits=100.0),
+        CarouselFile(name="image", size_bits=300.0),
+        CarouselFile(name="config", size_bits=100.0),
+    ]
+    return CarouselSchedule(files, beta, section_format=RAW)
+
+
+def test_cycle_time_is_sum_of_windows():
+    sched = simple_schedule(beta=100.0)
+    assert sched.cycle_time == pytest.approx(5.0)  # 500 bits / 100 bps
+    assert sched.window("pna") == (0.0, 1.0)
+    assert sched.window("image") == (1.0, 3.0)
+    assert sched.window("config") == (4.0, 1.0)
+
+
+def test_unknown_file_raises():
+    sched = simple_schedule()
+    with pytest.raises(FileNotInCarouselError):
+        sched.window("ghost")
+    with pytest.raises(FileNotInCarouselError):
+        sched.file("ghost")
+    assert sched.file("image").size_bits == 300.0
+
+
+def test_duplicate_names_rejected():
+    files = [CarouselFile(name="a", size_bits=1.0)] * 2
+    with pytest.raises(CarouselError):
+        CarouselSchedule(files, 100.0, section_format=RAW)
+
+
+def test_empty_carousel_rejected():
+    with pytest.raises(CarouselError):
+        CarouselSchedule([], 100.0)
+
+
+def test_next_start_basic():
+    sched = simple_schedule()
+    # image window starts at offset 1 within each 5-second cycle
+    assert sched.next_start("image", 0.0) == pytest.approx(1.0)
+    assert sched.next_start("image", 1.0) == pytest.approx(1.0)
+    assert sched.next_start("image", 1.1) == pytest.approx(6.0)
+    assert sched.next_start("image", 5.0) == pytest.approx(6.0)
+
+
+def test_next_start_vectorised_matches_scalar():
+    sched = simple_schedule()
+    ts = np.linspace(0.0, 20.0, 41)
+    vec = sched.next_start("image", ts)
+    scalars = [sched.next_start("image", float(t)) for t in ts]
+    assert np.allclose(vec, scalars)
+
+
+def test_request_before_origin_rejected():
+    files = [CarouselFile(name="a", size_bits=1.0)]
+    sched = CarouselSchedule(files, 1.0, section_format=RAW, origin_time=10.0)
+    with pytest.raises(CarouselError):
+        sched.next_start("a", 5.0)
+
+
+def test_completion_wait_for_start():
+    sched = simple_schedule()
+    # Request at t=0: image starts at 1, reads for 3 -> completes at 4.
+    assert sched.completion_time("image", 0.0) == pytest.approx(4.0)
+    # Request at t=2 (mid-window): wait for next start at 6, done at 9.
+    assert sched.completion_time("image", 2.0) == pytest.approx(9.0)
+
+
+def test_completion_resume_mid_window_takes_one_cycle():
+    sched = simple_schedule()
+    # Mid-window request resumes block collection: exactly one cycle.
+    assert sched.completion_time("image", 2.0, policy="resume") == \
+        pytest.approx(7.0)
+    # Outside the window, resume == wait_for_start.
+    assert sched.completion_time("image", 0.0, policy="resume") == \
+        pytest.approx(4.0)
+
+
+def test_unknown_policy_rejected():
+    sched = simple_schedule()
+    with pytest.raises(CarouselError):
+        sched.completion_time("image", 0.0, policy="magic")
+    with pytest.raises(CarouselError):
+        sched.mean_read_time("image", policy="magic")
+
+
+def test_single_file_carousel_paper_w_formula():
+    """When the image is the whole carousel, W = 1.5 * I / beta."""
+    image_bits = 8.0 * 1024 * 1024 * 8  # 8 MB
+    beta = 1_000_000.0
+    sched = CarouselSchedule(
+        [CarouselFile(name="image", size_bits=image_bits)],
+        beta, section_format=RAW)
+    expected = 1.5 * image_bits / beta
+    assert sched.mean_read_time("image") == pytest.approx(expected)
+
+
+def test_mean_read_time_resume_single_file_is_one_cycle():
+    sched = CarouselSchedule(
+        [CarouselFile(name="image", size_bits=1000.0)], 100.0,
+        section_format=RAW)
+    # resume: every phase completes in exactly one cycle
+    assert sched.mean_read_time("image", policy="resume") == \
+        pytest.approx(sched.cycle_time)
+
+
+@given(
+    sizes=st.lists(st.floats(min_value=1.0, max_value=1e6), min_size=1,
+                   max_size=6),
+    beta=st.floats(min_value=1.0, max_value=1e7),
+    t=st.floats(min_value=0.0, max_value=1e6),
+    which=st.integers(min_value=0, max_value=5),
+)
+@settings(max_examples=200, deadline=None)
+def test_property_completion_bounds(sizes, beta, t, which):
+    """Completion always lies in (t, t + cycle + duration]; latency of the
+    wait_for_start policy is in (duration, cycle + duration]."""
+    files = [CarouselFile(name=f"f{i}", size_bits=s)
+             for i, s in enumerate(sizes)]
+    sched = CarouselSchedule(files, beta, section_format=RAW)
+    name = f"f{which % len(sizes)}"
+    _, duration = sched.window(name)
+    done = sched.completion_time(name, t)
+    latency = done - t
+    assert latency >= duration - 1e-9
+    assert latency <= sched.cycle_time + duration + 1e-6
+
+
+@given(
+    t=st.floats(min_value=0.0, max_value=1e4),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_resume_never_slower_than_wait_for_start(t):
+    sched = simple_schedule()
+    wait = sched.completion_time("image", t)
+    resume = sched.completion_time("image", t, policy="resume")
+    assert resume <= wait + 1e-9

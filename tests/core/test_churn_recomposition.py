@@ -1,0 +1,115 @@
+"""Churn and recomposition: the Controller repairs instances that lose
+PNAs, and the Backend's leases recover lost tasks (paper Section 3.2)."""
+
+import pytest
+
+from repro.core import InstanceStatus, OddCISystem, PNAState
+from repro.workloads import uniform_bag
+
+
+def test_controller_detects_lost_members_and_recomposes():
+    system = OddCISystem(seed=2, maintenance_interval_s=20.0)
+    system.add_pnas(12, heartbeat_interval_s=10.0, dve_poll_interval_s=5.0)
+    job = uniform_bag(2000, image_bits=1e6, ref_seconds=200.0)
+    submission = system.provider.submit_job(
+        job, target_size=8, heartbeat_interval_s=10.0)
+    system.sim.run(until=60.0)
+    assert system.busy_count() == 8
+
+    # Owners switch off 4 of the busy nodes (silently).
+    busy = [p for p in system.pnas if p.state is PNAState.BUSY]
+    for p in busy[:4]:
+        p.shutdown()
+    system.sim.run(until=400.0)
+
+    record = system.controller.instance(submission.instance_id)
+    # Recomposition recruited replacements from the idle pool.
+    assert record.size >= 7
+    assert record.wakeups_sent >= 2  # initial + at least one recomposition
+    assert system.controller.counters["recompositions"] >= 1
+    online_busy = [p for p in system.pnas
+                   if p.online and p.state is PNAState.BUSY]
+    assert len(online_busy) >= 7
+
+
+def test_job_completes_despite_churn_with_leases():
+    system = OddCISystem(seed=4, maintenance_interval_s=15.0)
+    system.add_pnas(10, heartbeat_interval_s=10.0, dve_poll_interval_s=5.0)
+    job = uniform_bag(30, image_bits=1e6, ref_seconds=20.0)
+    submission = system.provider.submit_job(
+        job, target_size=6, heartbeat_interval_s=10.0, lease_factor=0.05)
+    system.sim.run(until=40.0)
+    # Kill half the workers mid-job.
+    busy = [p for p in system.pnas if p.state is PNAState.BUSY]
+    for p in busy[:3]:
+        p.shutdown()
+    report = system.provider.run_job_to_completion(submission, limit_s=1e6)
+    assert report.n_tasks == 30
+    assert report.requeues >= 1 or report.duplicates >= 0
+
+
+def test_offline_pna_ignores_broadcast():
+    system = OddCISystem(seed=5, maintenance_interval_s=1e6)
+    system.add_pnas(5, heartbeat_interval_s=1e5)
+    for p in system.pnas:
+        p.shutdown()
+    job = uniform_bag(10, image_bits=1e5, ref_seconds=100.0)
+    system.provider.submit_job(job, target_size=5)
+    system.sim.run(until=50.0)
+    assert system.busy_count() == 0
+    # Power back on: the next maintenance recomposition recruits them.
+    for p in system.pnas:
+        p.restart()
+    system.controller._maintenance_round()
+    system.sim.run(until=100.0)
+    assert system.busy_count() == 5
+
+
+def test_restarted_pna_resumes_heartbeats():
+    system = OddCISystem(seed=6, maintenance_interval_s=1e6)
+    system.add_pnas(1, heartbeat_interval_s=10.0)
+    pna = system.pnas[0]
+    system.sim.run(until=35.0)
+    sent_before = pna.heartbeats_sent
+    pna.shutdown()
+    system.sim.run(until=70.0)
+    assert pna.heartbeats_sent == sent_before  # silent while off
+    pna.restart()
+    system.sim.run(until=120.0)
+    assert pna.heartbeats_sent > sent_before
+
+
+def test_lifetime_expiry_dismantles_instance():
+    system = OddCISystem(seed=8, maintenance_interval_s=10.0)
+    system.add_pnas(4, heartbeat_interval_s=5.0)
+    job = uniform_bag(1000, image_bits=1e5, ref_seconds=1000.0)
+    submission = system.provider.submit_job(
+        job, target_size=4, heartbeat_interval_s=5.0, lifetime_s=60.0)
+    system.sim.run(until=30.0)
+    assert system.busy_count() == 4
+    system.sim.run(until=300.0)
+    record = system.controller.instance(submission.instance_id)
+    assert record.status in (InstanceStatus.DISMANTLING,
+                             InstanceStatus.DESTROYED)
+    assert system.busy_count() == 0
+
+
+def test_shutdown_mid_image_fetch_stays_idle():
+    """A PNA that accepts a wakeup but goes offline before staging the
+    image must not end up busy (DTV-plane race)."""
+    system = OddCISystem(seed=9, maintenance_interval_s=1e6)
+    pna = system.add_pna(heartbeat_interval_s=1e5)
+
+    from repro.core import WakeupPayload, sign_control
+
+    payload = WakeupPayload(instance_id="i-x", image_name="app",
+                            image_bits=1e6, probability=1.0)
+    tag = sign_control(system.controller.key, payload)
+    fetch_event = system.sim.event("image")
+    pna.deliver_control(payload, tag, fetch_image=lambda: fetch_event)
+    assert pna.state is PNAState.BUSY  # committed while staging
+    pna.shutdown()
+    fetch_event.succeed(None)
+    system.sim.run(until=10.0)
+    assert pna.state is PNAState.IDLE
+    assert pna.dve is None

@@ -1,0 +1,123 @@
+"""Unit tests for instance records and probability policies."""
+
+import pytest
+
+from repro.core import (
+    DeficitProportional,
+    FixedProbability,
+    InstanceRecord,
+    InstanceSpec,
+    InstanceStatus,
+    new_instance_id,
+)
+from repro.errors import ConfigurationError, InstanceError
+
+
+def spec(**overrides):
+    defaults = dict(target_size=10, image_name="app", image_bits=1e6)
+    defaults.update(overrides)
+    return InstanceSpec(**defaults)
+
+
+# -- InstanceSpec -----------------------------------------------------------
+
+def test_spec_validation():
+    with pytest.raises(InstanceError):
+        spec(target_size=0)
+    with pytest.raises(InstanceError):
+        spec(image_bits=0)
+    with pytest.raises(InstanceError):
+        spec(image_name="")
+    with pytest.raises(InstanceError):
+        spec(lifetime_s=0)
+    with pytest.raises(InstanceError):
+        spec(heartbeat_interval_s=0)
+    with pytest.raises(InstanceError):
+        spec(size_tolerance=1.0)
+
+
+def test_new_instance_ids_unique():
+    assert new_instance_id() != new_instance_id()
+    assert new_instance_id("x").startswith("x-")
+
+
+# -- InstanceRecord ------------------------------------------------------------
+
+def test_record_membership_and_deficit():
+    r = InstanceRecord("i-1", spec(target_size=3), created_at=0.0)
+    assert r.size == 0 and r.deficit == 3 and r.excess == 0
+    r.mark_member("a", 1.0)
+    r.mark_member("b", 1.0)
+    assert r.size == 2 and r.deficit == 1
+    r.mark_member("b", 2.0)  # refresh, not duplicate
+    assert r.size == 2
+    r.mark_member("c", 2.0)
+    r.mark_member("d", 2.0)
+    assert r.excess == 1 and r.deficit == 0
+
+
+def test_record_within_tolerance():
+    r = InstanceRecord("i", spec(target_size=100, size_tolerance=0.1), 0.0)
+    for i in range(95):
+        r.mark_member(f"p{i}", 0.0)
+    assert r.within_tolerance()  # 95 in [90, 110]
+    for i in range(95, 120):
+        r.mark_member(f"p{i}", 0.0)
+    assert not r.within_tolerance()  # 120 > 110
+
+
+def test_record_expire_members():
+    r = InstanceRecord("i", spec(), 0.0)
+    r.mark_member("old", 10.0)
+    r.mark_member("new", 100.0)
+    assert r.expire_members(cutoff=50.0) == 1
+    assert list(r.members) == ["new"]
+
+
+def test_record_drop_member_idempotent():
+    r = InstanceRecord("i", spec(), 0.0)
+    r.mark_member("a", 0.0)
+    r.drop_member("a")
+    r.drop_member("a")
+    assert r.size == 0
+
+
+def test_dismantling_record_rejects_members():
+    r = InstanceRecord("i", spec(), 0.0)
+    r.status = InstanceStatus.DISMANTLING
+    with pytest.raises(InstanceError):
+        r.mark_member("a", 0.0)
+
+
+# -- policies --------------------------------------------------------------------
+
+def test_fixed_probability():
+    assert FixedProbability(0.25).probability(5, 100) == 0.25
+    with pytest.raises(ConfigurationError):
+        FixedProbability(0.0)
+    with pytest.raises(ConfigurationError):
+        FixedProbability(1.5)
+
+
+def test_deficit_proportional_basic():
+    p = DeficitProportional(safety=1.0)
+    assert p.probability(10, 100) == pytest.approx(0.1)
+    assert p.probability(100, 100) == 1.0
+    assert p.probability(200, 100) == 1.0  # clamped
+
+
+def test_deficit_proportional_safety_padding():
+    p = DeficitProportional(safety=1.5)
+    assert p.probability(10, 100) == pytest.approx(0.15)
+
+
+def test_deficit_proportional_unknown_population():
+    p = DeficitProportional()
+    assert p.probability(10, 0) == 1.0
+
+
+def test_deficit_proportional_validation():
+    with pytest.raises(ConfigurationError):
+        DeficitProportional(safety=0)
+    with pytest.raises(ConfigurationError):
+        DeficitProportional().probability(0, 100)

@@ -1,0 +1,117 @@
+"""Unit tests for OddCI control messages and requirement matching."""
+
+import pytest
+
+from repro.core import (
+    HeartbeatPayload,
+    PNAState,
+    ResetPayload,
+    WakeupPayload,
+    matches_requirements,
+    sign_control,
+    verify_control,
+)
+from repro.errors import OddCIError
+from repro.net import KeyRegistry
+
+
+def wakeup(**overrides):
+    defaults = dict(instance_id="i-1", image_name="app", image_bits=1e6,
+                    probability=0.5)
+    defaults.update(overrides)
+    return WakeupPayload(**defaults)
+
+
+# -- payload validation ---------------------------------------------------------
+
+def test_wakeup_validation():
+    with pytest.raises(OddCIError):
+        wakeup(instance_id="")
+    with pytest.raises(OddCIError):
+        wakeup(image_bits=0)
+    with pytest.raises(OddCIError):
+        wakeup(probability=0.0)
+    with pytest.raises(OddCIError):
+        wakeup(probability=1.5)
+    with pytest.raises(OddCIError):
+        wakeup(heartbeat_interval_s=0)
+    assert wakeup(probability=1.0).probability == 1.0
+
+
+def test_heartbeat_validation():
+    with pytest.raises(OddCIError):
+        HeartbeatPayload(pna_id="", state=PNAState.IDLE)
+    with pytest.raises(OddCIError):
+        HeartbeatPayload(pna_id="p", state=PNAState.BUSY)  # no instance
+    hb = HeartbeatPayload(pna_id="p", state=PNAState.BUSY, instance_id="i")
+    assert hb.instance_id == "i"
+
+
+# -- signatures -------------------------------------------------------------------
+
+def test_wakeup_sign_verify_roundtrip():
+    reg = KeyRegistry()
+    key = reg.issue("controller")
+    w = wakeup()
+    tag = sign_control(key, w)
+    assert verify_control(key, w, tag)
+
+
+def test_modified_wakeup_fails_verification():
+    reg = KeyRegistry()
+    key = reg.issue("controller")
+    tag = sign_control(key, wakeup(probability=0.5))
+    assert not verify_control(key, wakeup(probability=0.6), tag)
+
+
+def test_reset_signable_wildcard():
+    assert ResetPayload().signable_fields()["instance_id"] == "*"
+    assert ResetPayload("i-9").signable_fields()["instance_id"] == "i-9"
+
+
+def test_foreign_controller_signature_rejected():
+    reg = KeyRegistry()
+    k1, k2 = reg.issue("c1"), reg.issue("c2")
+    w = wakeup()
+    assert not verify_control(k2, w, sign_control(k1, w))
+
+
+# -- requirements matching ----------------------------------------------------------
+
+def test_empty_requirements_always_match():
+    assert matches_requirements({}, {})
+    assert matches_requirements({}, {"memory_mb": 256})
+
+
+def test_equality_requirements():
+    caps = {"middleware": "ginga", "arch": "st7109"}
+    assert matches_requirements({"middleware": "ginga"}, caps)
+    assert not matches_requirements({"middleware": "mhp"}, caps)
+    assert not matches_requirements({"absent": 1}, caps)
+
+
+def test_min_requirements():
+    caps = {"memory_mb": 256}
+    assert matches_requirements({"min_memory_mb": 128}, caps)
+    assert matches_requirements({"min_memory_mb": 256}, caps)
+    assert not matches_requirements({"min_memory_mb": 512}, caps)
+    assert not matches_requirements({"min_memory_mb": 1}, {})  # missing cap
+
+
+def test_max_requirements():
+    caps = {"load": 0.4}
+    assert matches_requirements({"max_load": 0.5}, caps)
+    assert not matches_requirements({"max_load": 0.3}, caps)
+
+
+def test_non_numeric_min_requirement_fails():
+    assert not matches_requirements({"min_memory_mb": 128},
+                                    {"memory_mb": "lots"})
+
+
+def test_combined_requirements():
+    caps = {"memory_mb": 256, "middleware": "ginga"}
+    req = {"min_memory_mb": 128, "middleware": "ginga"}
+    assert matches_requirements(req, caps)
+    req["middleware"] = "mhp"
+    assert not matches_requirements(req, caps)

@@ -1,0 +1,79 @@
+"""Tests for the event-tier receiver population and churn."""
+
+import pytest
+
+from repro.dtv import Multiplex, PopulationConfig, ReceiverPopulation
+from repro.errors import ConfigurationError
+from repro.net import mbps
+from repro.sim import Simulator
+from repro.workloads.devices import PowerMode
+from repro.workloads.traces import ChurnModel
+
+
+def build(n=20, **kwargs):
+    sim = Simulator(seed=5)
+    mux = Multiplex(sim, total_rate_bps=mbps(19))
+    svc = mux.add_service("tv", av_rate_bps=mbps(10), data_rate_bps=mbps(1))
+    config = PopulationConfig(n=n, **kwargs)
+    pop = ReceiverPopulation(sim, config, service=svc)
+    return sim, svc, pop
+
+
+def test_population_size_and_tuning():
+    sim, svc, pop = build(n=20)
+    assert len(pop) == 20
+    assert svc.tuned_count == 20
+    assert pop.powered_count() == 20
+
+
+def test_mode_distribution_respects_fraction():
+    sim, _, pop = build(n=300, in_use_fraction=0.5)
+    in_use = pop.count_in_mode(PowerMode.IN_USE)
+    assert 100 < in_use < 200  # ~150 expected
+
+
+def test_all_in_use_by_default():
+    sim, _, pop = build(n=10)
+    assert pop.count_in_mode(PowerMode.IN_USE) == 10
+
+
+def test_each_box_has_direct_channel():
+    sim, _, pop = build(n=5)
+    ids = {b.direct_channel.uplink.name for b in pop}
+    assert len(ids) == 5
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ConfigurationError):
+        PopulationConfig(n=0)
+    with pytest.raises(ConfigurationError):
+        PopulationConfig(n=1, delta_bps=0)
+    with pytest.raises(ConfigurationError):
+        PopulationConfig(n=1, in_use_fraction=1.5)
+    with pytest.raises(ConfigurationError):
+        PopulationConfig(n=1, delta_latency_s=-1)
+
+
+def test_churn_toggles_receivers():
+    churn = ChurnModel(mean_on_s=100.0, mean_off_s=100.0)
+    sim, _, pop = build(n=50, churn=churn)
+    sim.run(until=500.0)
+    powered = pop.powered_count()
+    # Steady-state availability 0.5: expect roughly half powered.
+    assert 10 < powered < 40
+
+
+def test_churned_off_receivers_lose_direct_channel():
+    churn = ChurnModel(mean_on_s=10.0, mean_off_s=1e9,
+                       initial_on_probability=1.0)
+    sim, _, pop = build(n=10, churn=churn)
+    sim.run(until=200.0)
+    # Everyone churned off (off sessions astronomically long).
+    assert pop.powered_count() == 0
+    assert all(not b.direct_channel.up for b in pop)
+
+
+def test_no_churn_population_is_stable():
+    sim, _, pop = build(n=10)
+    sim.run(until=1000.0)
+    assert pop.powered_count() == 10

@@ -1,0 +1,96 @@
+"""Unit tests for the Xlet lifecycle state machine (paper Figure 4)."""
+
+import pytest
+
+from repro.dtv import Xlet, XletState
+from repro.errors import XletStateError
+from repro.sim import Simulator
+
+
+class RecordingXlet(Xlet):
+    """Xlet that records its hook invocations."""
+
+    def __init__(self, sim):
+        super().__init__(sim, name="recorder")
+        self.calls = []
+
+    def on_init(self):
+        self.calls.append("init")
+
+    def on_start(self):
+        self.calls.append("start")
+
+    def on_pause(self):
+        self.calls.append("pause")
+
+    def on_destroy(self, unconditional):
+        self.calls.append(("destroy", unconditional))
+
+
+def test_full_lifecycle():
+    sim = Simulator()
+    x = RecordingXlet(sim)
+    assert x.state is XletState.LOADED
+    x.init_xlet()
+    assert x.state is XletState.PAUSED
+    x.start_xlet()
+    assert x.state is XletState.STARTED
+    x.pause_xlet()
+    assert x.state is XletState.PAUSED
+    x.start_xlet()
+    assert x.state is XletState.STARTED
+    x.destroy_xlet()
+    assert x.state is XletState.DESTROYED
+    assert x.calls == ["init", "start", "pause", "start", ("destroy", True)]
+
+
+def test_cannot_start_from_loaded():
+    sim = Simulator()
+    x = RecordingXlet(sim)
+    with pytest.raises(XletStateError):
+        x.start_xlet()
+
+
+def test_cannot_init_twice():
+    sim = Simulator()
+    x = RecordingXlet(sim)
+    x.init_xlet()
+    with pytest.raises(XletStateError):
+        x.init_xlet()
+
+
+def test_cannot_pause_from_paused():
+    sim = Simulator()
+    x = RecordingXlet(sim)
+    x.init_xlet()
+    with pytest.raises(XletStateError):
+        x.pause_xlet()
+
+
+def test_destroy_from_any_live_state():
+    sim = Simulator()
+    for advance in (0, 1, 2):
+        x = RecordingXlet(sim)
+        if advance >= 1:
+            x.init_xlet()
+        if advance >= 2:
+            x.start_xlet()
+        x.destroy_xlet(unconditional=False)
+        assert x.destroyed
+
+
+def test_destroyed_is_final():
+    sim = Simulator()
+    x = RecordingXlet(sim)
+    x.init_xlet()
+    x.destroy_xlet()
+    for method in (x.init_xlet, x.start_xlet, x.pause_xlet, x.destroy_xlet):
+        with pytest.raises(XletStateError):
+            method()
+
+
+def test_init_context_merged():
+    sim = Simulator()
+    x = RecordingXlet(sim)
+    x.init_xlet(context={"app_id": 7})
+    assert x.context["app_id"] == 7

@@ -1,0 +1,83 @@
+"""Unit tests for the simulated signature mechanism."""
+
+import pytest
+
+from repro.errors import SignatureError
+from repro.net import KeyRegistry, canonicalize, sign, verify
+
+
+def test_sign_verify_roundtrip():
+    reg = KeyRegistry()
+    key = reg.issue("controller-1")
+    fields = {"type": "wakeup", "instance": "i-1", "probability": 0.5}
+    tag = sign(key, fields)
+    assert verify(key, fields, tag)
+
+
+def test_tampered_fields_fail():
+    reg = KeyRegistry()
+    key = reg.issue("c")
+    fields = {"type": "wakeup", "instance": "i-1"}
+    tag = sign(key, fields)
+    assert not verify(key, {"type": "wakeup", "instance": "i-2"}, tag)
+
+
+def test_wrong_key_fails():
+    reg = KeyRegistry()
+    k1 = reg.issue("controller-1")
+    k2 = reg.issue("controller-2")
+    fields = {"type": "reset"}
+    tag = sign(k1, fields)
+    assert not verify(k2, fields, tag)
+
+
+def test_issue_is_idempotent_per_owner():
+    reg = KeyRegistry()
+    assert reg.issue("c") == reg.issue("c")
+
+
+def test_distinct_owners_distinct_keys():
+    reg = KeyRegistry()
+    assert reg.issue("a") != reg.issue("b")
+
+
+def test_key_of_unknown_owner_raises():
+    reg = KeyRegistry()
+    with pytest.raises(SignatureError):
+        reg.key_of("ghost")
+
+
+def test_key_of_returns_issued_key():
+    reg = KeyRegistry()
+    key = reg.issue("x")
+    assert reg.key_of("x") == key
+    assert reg.owners() == ("x",)
+
+
+def test_empty_key_rejected():
+    with pytest.raises(SignatureError):
+        sign(b"", {"a": 1})
+    with pytest.raises(SignatureError):
+        verify(b"", {"a": 1}, b"tag")
+
+
+def test_canonicalize_order_independent():
+    assert canonicalize({"b": 1, "a": 2}) == canonicalize({"a": 2, "b": 1})
+
+
+def test_canonicalize_distinguishes_values():
+    assert canonicalize({"a": 1}) != canonicalize({"a": 2})
+
+
+def test_canonicalize_nested_structures():
+    fields = {"list": [1, 2, {"x": 0.5}], "bytes": b"\x01\x02"}
+    rendering = canonicalize(fields)
+    assert b"0102" in rendering
+    assert canonicalize(fields) == rendering  # stable
+
+
+def test_truncated_tag_fails():
+    reg = KeyRegistry()
+    key = reg.issue("c")
+    tag = sign(key, {"t": "x"})
+    assert not verify(key, {"t": "x"}, tag[:-1])

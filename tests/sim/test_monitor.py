@@ -1,0 +1,155 @@
+"""Unit tests for monitors: TimeSeries, Tally, Counter, summary."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.sim import Counter, Tally, TimeSeries, summary
+
+
+# -- TimeSeries ---------------------------------------------------------------
+
+def test_timeseries_records_and_reads_back():
+    ts = TimeSeries("n")
+    ts.record(0.0, 1.0)
+    ts.record(2.0, 3.0)
+    assert len(ts) == 2
+    assert ts.times.tolist() == [0.0, 2.0]
+    assert ts.values.tolist() == [1.0, 3.0]
+    assert ts.last() == 3.0
+
+
+def test_timeseries_rejects_non_monotone_time():
+    ts = TimeSeries()
+    ts.record(5.0, 1.0)
+    with pytest.raises(AnalysisError):
+        ts.record(4.0, 2.0)
+
+
+def test_timeseries_allows_same_time_resample():
+    ts = TimeSeries()
+    ts.record(1.0, 10.0)
+    ts.record(1.0, 20.0)
+    assert ts.value_at(1.0) == 20.0
+
+
+def test_timeseries_value_at_step_semantics():
+    ts = TimeSeries()
+    ts.record(0.0, 1.0)
+    ts.record(10.0, 5.0)
+    assert ts.value_at(0.0) == 1.0
+    assert ts.value_at(9.999) == 1.0
+    assert ts.value_at(10.0) == 5.0
+    assert ts.value_at(100.0) == 5.0
+    with pytest.raises(AnalysisError):
+        ts.value_at(-1.0)
+
+
+def test_timeseries_time_average():
+    ts = TimeSeries()
+    ts.record(0.0, 0.0)
+    ts.record(10.0, 10.0)
+    # value 0 for t in [0,10), value 10 for [10,20] -> avg 5 over [0,20]
+    assert ts.time_average(until=20.0) == pytest.approx(5.0)
+
+
+def test_timeseries_time_average_single_point():
+    ts = TimeSeries()
+    ts.record(3.0, 7.0)
+    assert ts.time_average(until=3.0) == 7.0
+
+
+def test_timeseries_minmax_and_empty_errors():
+    ts = TimeSeries()
+    with pytest.raises(AnalysisError):
+        ts.last()
+    with pytest.raises(AnalysisError):
+        ts.time_average()
+    ts.record(0.0, 4.0)
+    ts.record(1.0, -2.0)
+    assert ts.max() == 4.0
+    assert ts.min() == -2.0
+
+
+# -- Tally --------------------------------------------------------------------
+
+def test_tally_streaming_matches_numpy():
+    rng = np.random.default_rng(0)
+    data = rng.normal(10.0, 3.0, size=1000)
+    tally = Tally()
+    for x in data:
+        tally.record(x)
+    assert tally.count == 1000
+    assert tally.mean == pytest.approx(float(data.mean()))
+    assert tally.std == pytest.approx(float(data.std(ddof=1)))
+    assert tally.minimum == pytest.approx(float(data.min()))
+    assert tally.maximum == pytest.approx(float(data.max()))
+    assert tally.total == pytest.approx(float(data.sum()))
+
+
+def test_tally_record_many_merges_correctly():
+    rng = np.random.default_rng(1)
+    a = rng.random(100)
+    b = rng.random(57)
+    tally = Tally()
+    tally.record_many(a)
+    tally.record_many(b)
+    both = np.concatenate([a, b])
+    assert tally.count == 157
+    assert tally.mean == pytest.approx(float(both.mean()))
+    assert tally.variance == pytest.approx(float(both.var(ddof=1)))
+
+
+def test_tally_record_many_empty_is_noop():
+    tally = Tally()
+    tally.record_many([])
+    assert tally.count == 0
+
+
+def test_tally_empty_errors():
+    tally = Tally("t")
+    with pytest.raises(AnalysisError):
+        _ = tally.mean
+    tally.record(1.0)
+    with pytest.raises(AnalysisError):
+        _ = tally.variance
+
+
+# -- Counter ------------------------------------------------------------------
+
+def test_counter_incr_and_read():
+    c = Counter()
+    c.incr("msg")
+    c.incr("msg", 4)
+    assert c["msg"] == 5
+    assert c["absent"] == 0
+    assert c.as_dict() == {"msg": 5}
+
+
+def test_counter_rejects_negative():
+    c = Counter()
+    with pytest.raises(AnalysisError):
+        c.incr("x", -1)
+
+
+# -- summary ------------------------------------------------------------------
+
+def test_summary_basic():
+    s = summary([1.0, 2.0, 3.0, 4.0])
+    assert s["n"] == 4
+    assert s["mean"] == pytest.approx(2.5)
+    assert s["median"] == pytest.approx(2.5)
+    assert s["min"] == 1.0 and s["max"] == 4.0
+    assert s["std"] == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+
+def test_summary_single_value_std_zero():
+    s = summary([7.0])
+    assert s["std"] == 0.0
+
+
+def test_summary_empty_raises():
+    with pytest.raises(AnalysisError):
+        summary([])

@@ -1,0 +1,243 @@
+"""Unit tests for Resource / Store / Container primitives."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.sim import Container, Resource, Simulator, Store
+
+
+# -- Resource -----------------------------------------------------------------
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    r1, r2, r3 = res.request(), res.request(), res.request()
+    assert r1.triggered and r2.triggered and not r3.triggered
+    assert res.in_use == 2
+    assert res.queue_length == 1
+
+
+def test_resource_release_grants_next_in_fifo_order():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    first = res.request()
+    second = res.request()
+    third = res.request()
+    res.release(first)
+    assert second.triggered and not third.triggered
+    res.release(second)
+    assert third.triggered
+
+
+def test_resource_double_release_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    req = res.request()
+    res.release(req)
+    with pytest.raises(ResourceError):
+        res.release(req)
+
+
+def test_resource_release_unknown_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    other = sim.event()
+    with pytest.raises(ResourceError):
+        res.release(other)
+
+
+def test_resource_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ResourceError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_cancel_queued_request():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    held = res.request()
+    queued = res.request()
+    res.cancel(queued)
+    res.release(held)
+    assert not queued.triggered
+    assert res.in_use == 0
+
+
+def test_resource_cancel_granted_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    held = res.request()
+    with pytest.raises(ResourceError):
+        res.cancel(held)
+
+
+def test_resource_with_processes():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    done = []
+
+    def user(tag):
+        req = res.request()
+        yield req
+        yield 10.0
+        res.release(req)
+        done.append((tag, sim.now))
+
+    for tag in range(4):
+        sim.process(user(tag))
+    sim.run()
+    # two batches of two: finish at t=10 and t=20
+    assert done == [(0, 10.0), (1, 10.0), (2, 20.0), (3, 20.0)]
+
+
+# -- Store --------------------------------------------------------------------
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("x")
+    got = store.get()
+    sim.run()
+    assert got.value == "x"
+    assert len(store) == 0
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    results = []
+
+    def consumer():
+        item = yield store.get()
+        results.append((sim.now, item))
+
+    sim.process(consumer())
+    sim.schedule(5.0, store.put, "late")
+    sim.run()
+    assert results == [(5.0, "late")]
+
+
+def test_store_fifo_ordering():
+    sim = Simulator()
+    store = Store(sim)
+    for i in range(5):
+        store.put(i)
+    got = [store.get() for _ in range(5)]
+    sim.run()
+    assert [g.value for g in got] == [0, 1, 2, 3, 4]
+
+
+def test_store_capacity_blocks_put():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    p1 = store.put("a")
+    p2 = store.put("b")
+    assert p1.triggered and not p2.triggered
+    g = store.get()
+    sim.run()
+    assert g.value == "a"
+    assert p2.triggered
+    assert store.items == ("b",)
+
+
+def test_store_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ResourceError):
+        Store(sim, capacity=0)
+
+
+def test_store_filtered_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put({"kind": "a", "v": 1})
+    store.put({"kind": "b", "v": 2})
+    got = store.get(lambda item: item["kind"] == "b")
+    sim.run()
+    assert got.value["v"] == 2
+    assert store.items[0]["kind"] == "a"
+
+
+def test_store_filtered_get_waits_for_match():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("wrong")
+    results = []
+
+    def consumer():
+        item = yield store.get(lambda x: x == "right")
+        results.append((sim.now, item))
+
+    sim.process(consumer())
+    sim.schedule(3.0, store.put, "right")
+    sim.run()
+    assert results == [(3.0, "right")]
+    assert store.items == ("wrong",)
+
+
+def test_store_try_get():
+    sim = Simulator()
+    store = Store(sim)
+    assert store.try_get() is None
+    store.put(1)
+    store.put(2)
+    sim.run()
+    assert store.try_get() == 1
+    assert store.try_get(lambda x: x == 99) is None
+    assert store.try_get() == 2
+
+
+# -- Container ----------------------------------------------------------------
+
+def test_container_levels():
+    sim = Simulator()
+    c = Container(sim, capacity=10, init=4)
+    assert c.level == 4
+    c.get(3)
+    sim.run()
+    assert c.level == 1
+
+
+def test_container_get_blocks_until_enough():
+    sim = Simulator()
+    c = Container(sim, capacity=10, init=0)
+    results = []
+
+    def consumer():
+        yield c.get(5)
+        results.append(sim.now)
+
+    sim.process(consumer())
+    sim.schedule(1.0, c.put, 3)
+    sim.schedule(2.0, c.put, 3)
+    sim.run()
+    assert results == [2.0]
+    assert c.level == 1
+
+
+def test_container_put_blocks_at_capacity():
+    sim = Simulator()
+    c = Container(sim, capacity=5, init=5)
+    done = []
+
+    def producer():
+        yield c.put(2)
+        done.append(sim.now)
+
+    sim.process(producer())
+    sim.schedule(4.0, lambda: c.get(3))
+    sim.run()
+    assert done == [4.0]
+    assert c.level == 4
+
+
+def test_container_validation():
+    sim = Simulator()
+    with pytest.raises(ResourceError):
+        Container(sim, capacity=0)
+    with pytest.raises(ResourceError):
+        Container(sim, capacity=5, init=9)
+    c = Container(sim, capacity=5)
+    with pytest.raises(ResourceError):
+        c.get(0)
+    with pytest.raises(ResourceError):
+        c.put(-1)

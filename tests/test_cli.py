@@ -1,0 +1,52 @@
+"""Tests for the command-line front end."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main, run_experiment
+
+
+def test_experiment_registry_matches_design_doc():
+    assert set(EXPERIMENTS) == {
+        "table1", "table2", "table3", "wakeup", "fig6", "fig7",
+        "a1", "a2", "a3", "a4", "a5", "a6", "scalability",
+    }
+
+
+def test_list_prints_all_ids(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for key in EXPERIMENTS:
+        assert key in out
+
+
+def test_run_single_experiment(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+
+
+def test_run_experiment_function():
+    text = run_experiment("table3", seed=0)
+    assert "Table III" in text
+
+
+def test_unknown_experiment_exits():
+    with pytest.raises(SystemExit):
+        run_experiment("nope")
+
+
+def test_out_file_written(tmp_path, capsys):
+    out_file = tmp_path / "artifact.txt"
+    assert main(["table1", "--out", str(out_file)]) == 0
+    assert "Table I" in out_file.read_text()
+
+
+def test_seed_flag_changes_noise(capsys):
+    a = run_experiment("table3", seed=0)
+    b = run_experiment("table3", seed=5)
+    assert a != b
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["fig6"])
+    assert args.seed == 0 and args.out is None

@@ -1,0 +1,52 @@
+"""Smoke tests: the example scripts run end to end and print sane output.
+
+``national_broadcast.py`` is exercised by the vector-tier tests instead
+(it takes ~a minute at full scale).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 300.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {"quickstart.py", "blast_screening.py",
+            "infrastructure_comparison.py", "elastic_instances.py",
+            "national_broadcast.py"} <= names
+
+
+def test_quickstart_runs_and_matches_model():
+    out = run_example("quickstart.py")
+    assert "makespan (measured)" in out
+    assert "efficiency (Eq. 2)" in out
+
+
+def test_infrastructure_comparison_runs():
+    out = run_example("infrastructure_comparison.py")
+    assert "meets ALL requirements" in out
+    assert "oddci" in out
+
+
+def test_blast_screening_runs():
+    out = run_example("blast_screening.py")
+    assert "speedup vs single STB" in out
+    assert "receivers online: 12 / 12" in out
+
+
+def test_elastic_instances_runs():
+    out = run_example("elastic_instances.py")
+    assert "after recomposition" in out
+    assert "after dismantle" in out

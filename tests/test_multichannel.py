@@ -1,0 +1,107 @@
+"""Tests for multi-channel OddCI-DTV (Section 4.3 scale-out)."""
+
+import pytest
+
+from repro.dtv_oddci import (
+    FanoutControlPlane,
+    MultiChannelOddCIDTVSystem,
+)
+from repro.errors import ConfigurationError
+from repro.net.message import MEGABYTE, bits_from_bytes
+from repro.workloads import uniform_bag
+
+
+def build(n_channels=3, n_receivers=9, **kwargs):
+    system = MultiChannelOddCIDTVSystem(
+        n_channels, seed=31, maintenance_interval_s=100.0,
+        pna_xlet_bits=bits_from_bytes(64 * 1024))
+    system.add_receivers(n_receivers, heartbeat_interval_s=50.0,
+                         dve_poll_interval_s=10.0, **kwargs)
+    return system
+
+
+def test_invalid_construction():
+    with pytest.raises(ConfigurationError):
+        MultiChannelOddCIDTVSystem(0)
+    with pytest.raises(ConfigurationError):
+        FanoutControlPlane([])
+
+
+def test_receivers_distributed_over_channels():
+    system = build(n_channels=3, n_receivers=60)
+    counts = system.audience_per_channel()
+    assert sum(counts) == 60
+    assert all(c > 5 for c in counts)  # roughly uniform
+
+
+def test_channel_weights_respected():
+    system = MultiChannelOddCIDTVSystem(
+        2, seed=5, maintenance_interval_s=100.0,
+        pna_xlet_bits=bits_from_bytes(64 * 1024))
+    system.add_receivers(200, channel_weights=[9.0, 1.0],
+                         heartbeat_interval_s=50.0)
+    counts = system.audience_per_channel()
+    assert counts[0] > 150 and counts[1] < 50
+
+
+def test_bad_channel_weights_rejected():
+    system = MultiChannelOddCIDTVSystem(2, seed=5)
+    with pytest.raises(ConfigurationError):
+        system.add_receivers(10, channel_weights=[1.0])
+    with pytest.raises(ConfigurationError):
+        system.add_receivers(10, channel_weights=[0.0, 0.0])
+    with pytest.raises(ConfigurationError):
+        system.add_receivers(0)
+
+
+def test_xlets_autostart_on_every_channel():
+    system = build(n_channels=3, n_receivers=9)
+    system.sim.run(until=60.0)
+    assert system.online_count() == 9
+
+
+def test_wakeup_reaches_union_of_audiences():
+    """One wakeup recruits receivers across all channels — the paper's
+    multi-channel scale-out."""
+    system = build(n_channels=3, n_receivers=12)
+    system.sim.run(until=60.0)
+    job = uniform_bag(2000, image_bits=MEGABYTE, ref_seconds=200.0)
+    system.provider.submit_job(job, target_size=12,
+                               heartbeat_interval_s=50.0)
+    system.sim.run(until=400.0)
+    assert system.busy_count() == 12
+    # Busy receivers span more than one channel.
+    busy_channels = set()
+    for stb in system.boxes:
+        pna = system._pna_of_stb[stb.stb_id]
+        if pna.online and pna.instance_id is not None:
+            busy_channels.add(system.services.index(stb.service))
+    assert len(busy_channels) >= 2
+
+
+def test_job_completes_across_channels():
+    system = build(n_channels=2, n_receivers=6)
+    system.sim.run(until=60.0)
+    job = uniform_bag(12, image_bits=MEGABYTE, ref_seconds=2.0)
+    submission = system.provider.submit_job(job, target_size=6,
+                                            heartbeat_interval_s=50.0)
+    report = system.provider.run_job_to_completion(submission, limit_s=1e7)
+    assert report.n_tasks == 12
+    assert report.distinct_workers >= 4
+
+
+def test_reset_dismantles_on_all_channels():
+    system = build(n_channels=2, n_receivers=6)
+    system.sim.run(until=60.0)
+    job = uniform_bag(5000, image_bits=MEGABYTE, ref_seconds=500.0,
+                      name="mc-image")
+    submission = system.provider.submit_job(job, target_size=6,
+                                            heartbeat_interval_s=50.0,
+                                            release_on_completion=False)
+    system.sim.run(until=400.0)
+    assert system.busy_count() == 6
+    system.provider.release(submission.instance_id)
+    system.sim.run(until=800.0)
+    assert system.busy_count() == 0
+    for plane in system.planes:
+        assert "mc-image" not in plane.carousel.file_names

@@ -1,0 +1,73 @@
+"""Cross-validation: the event tier and the vector tier implement the
+same semantics, so on overlapping sizes their outcomes must agree."""
+
+import numpy as np
+import pytest
+
+from repro.core import OddCISystem
+from repro.net.message import KILOBYTE, MEGABYTE
+from repro.vector import (
+    VectorOddCI,
+    VectorPopulation,
+    makespan_heap,
+    makespan_waterfill,
+)
+from repro.workloads import REFERENCE_PC, uniform_bag
+
+
+def event_tier_makespan(n_nodes, n_tasks, ref_seconds, io_bits,
+                        image_bits, seed=0):
+    system = OddCISystem(beta_bps=1_000_000.0, delta_bps=150_000.0,
+                         delta_latency_s=0.0, seed=seed,
+                         maintenance_interval_s=1e6)
+    system.add_pnas(n_nodes, heartbeat_interval_s=1e5,
+                    dve_poll_interval_s=5.0)
+    job = uniform_bag(n_tasks, image_bits=image_bits,
+                      input_bits=io_bits / 2, ref_seconds=ref_seconds,
+                      result_bits=io_bits / 2)
+    submission = system.provider.submit_job(job, target_size=n_nodes)
+    report = system.provider.run_job_to_completion(submission, limit_s=1e8)
+    return report.makespan
+
+
+def vector_tier_makespan(n_nodes, n_tasks, ref_seconds, io_bits,
+                         image_bits, seed=0):
+    pop = VectorPopulation(n_nodes, np.random.default_rng(seed),
+                           profile=REFERENCE_PC)
+    system = VectorOddCI(pop, beta_bps=1_000_000.0, delta_bps=150_000.0)
+    job = uniform_bag(n_tasks, image_bits=image_bits,
+                      input_bits=io_bits / 2, ref_seconds=ref_seconds,
+                      result_bits=io_bits / 2)
+    return system.run_job(job, target_size=n_nodes).makespan_s
+
+
+@pytest.mark.parametrize("n_nodes,n_tasks,ref_seconds", [
+    (10, 100, 30.0),
+    (20, 200, 10.0),
+    (5, 25, 60.0),
+])
+def test_event_and_vector_makespans_agree(n_nodes, n_tasks, ref_seconds):
+    """Same job, same channels: the tiers agree within the modelling
+    differences (broadcast-message vs carousel wakeup, protocol chatter)."""
+    kwargs = dict(io_bits=float(KILOBYTE), image_bits=2 * MEGABYTE)
+    event = event_tier_makespan(n_nodes, n_tasks, ref_seconds, **kwargs)
+    vector = vector_tier_makespan(n_nodes, n_tasks, ref_seconds, **kwargs)
+    assert vector == pytest.approx(event, rel=0.25)
+
+
+def test_heap_and_waterfill_agree_on_big_uniform_bag():
+    rng = np.random.default_rng(0)
+    ready = rng.uniform(0.0, 60.0, size=500)
+    wf = makespan_waterfill(ready, 5_000, 3.7)
+    hp = makespan_heap(ready, np.full(5_000, 3.7))
+    assert wf.finish_time == pytest.approx(hp.finish_time, rel=1e-9)
+
+
+def test_vector_efficiency_matches_event_derived_efficiency():
+    n_nodes, n_tasks, p = 10, 200, 20.0
+    kwargs = dict(io_bits=float(KILOBYTE), image_bits=2 * MEGABYTE)
+    event_m = event_tier_makespan(n_nodes, n_tasks, p, **kwargs)
+    vector_m = vector_tier_makespan(n_nodes, n_tasks, p, **kwargs)
+    event_eff = n_tasks * p / (event_m * n_nodes)
+    vector_eff = n_tasks * p / (vector_m * n_nodes)
+    assert vector_eff == pytest.approx(event_eff, abs=0.12)

@@ -1,0 +1,120 @@
+"""Tests for the vectorised executors (waterfill vs heap agreement)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.vector import makespan_heap, makespan_waterfill, per_task_wall_seconds
+
+
+def test_per_task_wall_seconds():
+    # 1 KB over 150 kbps + 2 s compute * factor 20.6
+    d = per_task_wall_seconds(2.0, 8192, 150_000.0, 20.6)
+    assert d == pytest.approx(8192 / 150_000 + 41.2)
+    with pytest.raises(AnalysisError):
+        per_task_wall_seconds(0, 1, 1)
+    with pytest.raises(AnalysisError):
+        per_task_wall_seconds(1, -1, 1)
+    with pytest.raises(AnalysisError):
+        per_task_wall_seconds(1, 1, 1, device_factor=0)
+
+
+def test_waterfill_single_node():
+    out = makespan_waterfill(np.array([10.0]), 5, 2.0)
+    assert out.finish_time == pytest.approx(20.0)
+    assert out.tasks_per_node_max == 5
+
+
+def test_waterfill_equal_ready_times_balances():
+    out = makespan_waterfill(np.zeros(4), 8, 3.0)
+    assert out.finish_time == pytest.approx(6.0)  # 2 tasks each
+    assert out.tasks_per_node_max == 2
+
+
+def test_waterfill_uneven_split():
+    # 3 nodes, 7 tasks, d=1: two nodes get 2, one gets 3 -> finish 3.
+    out = makespan_waterfill(np.zeros(3), 7, 1.0)
+    assert out.finish_time == pytest.approx(3.0)
+    assert out.tasks_per_node_max == 3
+
+
+def test_waterfill_staggered_ready_times():
+    # Node A ready at 0, node B at 10; 3 tasks of 4 s.
+    # Greedy: A takes t0 (0-4), t1 (4-8), t2 (8-12); B would finish its
+    # first task at 14 — so A does all three, finish 12.
+    out = makespan_waterfill(np.array([0.0, 10.0]), 3, 4.0)
+    assert out.finish_time == pytest.approx(12.0)
+
+
+def test_waterfill_validation():
+    with pytest.raises(AnalysisError):
+        makespan_waterfill(np.array([]), 1, 1.0)
+    with pytest.raises(AnalysisError):
+        makespan_waterfill(np.zeros(2), 0, 1.0)
+    with pytest.raises(AnalysisError):
+        makespan_waterfill(np.zeros(2), 1, 0.0)
+
+
+def test_heap_matches_manual_example():
+    # Same staggered example as above.
+    out = makespan_heap(np.array([0.0, 10.0]), [4.0, 4.0, 4.0])
+    assert out.finish_time == pytest.approx(12.0)
+
+
+def test_heap_heterogeneous_tasks():
+    out = makespan_heap(np.zeros(2), [5.0, 1.0, 1.0, 1.0])
+    # node0 takes 5s task; node1 takes three 1s tasks -> finish 5.
+    assert out.finish_time == pytest.approx(5.0)
+    assert out.tasks_per_node_max == 3
+
+
+def test_heap_validation():
+    with pytest.raises(AnalysisError):
+        makespan_heap(np.array([]), [1.0])
+    with pytest.raises(AnalysisError):
+        makespan_heap(np.zeros(2), [])
+    with pytest.raises(AnalysisError):
+        makespan_heap(np.zeros(2), [0.0])
+
+
+@given(
+    n_nodes=st.integers(min_value=1, max_value=40),
+    n_tasks=st.integers(min_value=1, max_value=200),
+    d=st.floats(min_value=0.01, max_value=100.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=150, deadline=None)
+def test_property_waterfill_equals_heap_on_identical_tasks(
+        n_nodes, n_tasks, d, seed):
+    rng = np.random.default_rng(seed)
+    ready = rng.uniform(0.0, 50.0, size=n_nodes)
+    wf = makespan_waterfill(ready, n_tasks, d)
+    hp = makespan_heap(ready, np.full(n_tasks, d))
+    assert wf.finish_time == pytest.approx(hp.finish_time, rel=1e-6)
+    assert wf.tasks_per_node_max == hp.tasks_per_node_max or \
+        abs(wf.tasks_per_node_max - hp.tasks_per_node_max) <= 1
+
+
+@given(
+    n_nodes=st.integers(min_value=1, max_value=30),
+    n_tasks=st.integers(min_value=1, max_value=100),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_makespan_monotone_in_tasks_and_nodes(n_nodes, n_tasks):
+    ready = np.zeros(n_nodes)
+    m1 = makespan_waterfill(ready, n_tasks, 1.0).finish_time
+    m2 = makespan_waterfill(ready, n_tasks + 10, 1.0).finish_time
+    assert m2 >= m1
+    m3 = makespan_waterfill(np.zeros(n_nodes + 5), n_tasks, 1.0).finish_time
+    assert m3 <= m1 + 1e-9
+
+
+def test_waterfill_scales_to_a_million_nodes():
+    rng = np.random.default_rng(0)
+    ready = rng.uniform(0.0, 120.0, size=1_000_000)
+    out = makespan_waterfill(ready, 10_000_000, 5.0)
+    assert out.n_nodes == 1_000_000
+    # 10 tasks per node on average at 5 s each: finish around 50-170 s.
+    assert 50.0 < out.finish_time < 200.0

@@ -1,0 +1,126 @@
+"""Tests for synthetic sequence generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    decode,
+    encode,
+    mutate,
+    plant_homolog,
+    random_database,
+    random_dna,
+)
+
+
+def test_encode_decode_roundtrip():
+    seq = "ACGTACGTTTGA"
+    assert decode(encode(seq)) == seq
+
+
+def test_encode_lowercase_accepted():
+    assert decode(encode("acgt")) == "ACGT"
+
+
+def test_encode_invalid_character():
+    with pytest.raises(WorkloadError):
+        encode("ACGX")
+
+
+def test_decode_invalid_codes():
+    with pytest.raises(WorkloadError):
+        decode(np.array([0, 5], dtype=np.uint8))
+
+
+def test_random_dna_properties():
+    rng = np.random.default_rng(0)
+    seq = random_dna(10_000, rng)
+    assert seq.size == 10_000
+    assert seq.dtype == np.uint8
+    counts = np.bincount(seq, minlength=4)
+    # roughly uniform base composition
+    assert all(2000 < c < 3000 for c in counts)
+    with pytest.raises(WorkloadError):
+        random_dna(0, rng)
+
+
+def test_mutate_rate_zero_is_identity():
+    rng = np.random.default_rng(0)
+    seq = random_dna(100, rng)
+    out = mutate(seq, 0.0, rng)
+    assert np.array_equal(out, seq)
+    assert out is not seq  # still a copy
+
+
+def test_mutate_changes_expected_fraction():
+    rng = np.random.default_rng(1)
+    seq = random_dna(100_000, rng)
+    out = mutate(seq, 0.1, rng)
+    frac = float(np.mean(out != seq))
+    assert 0.08 < frac < 0.12
+
+
+def test_mutate_always_changes_base():
+    """A mutated position never keeps its original base."""
+    rng = np.random.default_rng(2)
+    seq = random_dna(10_000, rng)
+    out = mutate(seq, 1.0, rng)
+    assert not np.any(out == seq)
+
+
+def test_mutate_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(WorkloadError):
+        mutate(random_dna(10, rng), 1.5, rng)
+
+
+def test_random_database():
+    rng = np.random.default_rng(0)
+    db = random_database(5, 200, rng)
+    assert len(db) == 5
+    assert all(s.size == 200 for s in db)
+    with pytest.raises(WorkloadError):
+        random_database(0, 10, rng)
+
+
+def test_plant_homolog_embeds_similar_copy():
+    rng = np.random.default_rng(3)
+    db = random_database(4, 500, rng)
+    query = random_dna(80, rng)
+    idx, pos = plant_homolog(db, query, rng, mutation_rate=0.05)
+    planted = db[idx][pos:pos + 80]
+    identity = float(np.mean(planted == query))
+    assert identity > 0.85
+
+
+def test_plant_homolog_explicit_location():
+    rng = np.random.default_rng(4)
+    db = random_database(3, 100, rng)
+    query = random_dna(20, rng)
+    idx, pos = plant_homolog(db, query, rng, seq_index=2, position=10,
+                             mutation_rate=0.0)
+    assert (idx, pos) == (2, 10)
+    assert np.array_equal(db[2][10:30], query)
+
+
+def test_plant_homolog_validation():
+    rng = np.random.default_rng(0)
+    db = random_database(2, 50, rng)
+    q = random_dna(80, rng)  # longer than sequences
+    with pytest.raises(WorkloadError):
+        plant_homolog(db, q, rng)
+    with pytest.raises(WorkloadError):
+        plant_homolog([], random_dna(5, rng), rng)
+    with pytest.raises(WorkloadError):
+        plant_homolog(db, random_dna(10, rng), rng, seq_index=9)
+    with pytest.raises(WorkloadError):
+        plant_homolog(db, random_dna(10, rng), rng, position=45)
+
+
+@given(st.text(alphabet="ACGT", min_size=1, max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_property_encode_decode_roundtrip(s):
+    assert decode(encode(s)) == s
