@@ -1,0 +1,17 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-quick
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Full event-tier perf harness: writes BENCH_event_tier.json.
+# Wall numbers are machine-dependent — see DESIGN.md §8 for the
+# interleaved before/after measurement protocol.
+bench:
+	$(PYTHON) -m repro bench
+
+bench-quick:
+	$(PYTHON) -m repro bench --scales 1000 --kernel-scales 10000 \
+		--out /tmp/bench_quick.json

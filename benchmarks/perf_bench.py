@@ -1,0 +1,25 @@
+"""Thin wrapper around :mod:`repro.perfbench` (kept at the historical
+path so ``python benchmarks/perf_bench.py`` keeps working).
+
+The harness itself lives in ``src/repro/perfbench.py``; run it via::
+
+    python -m repro bench            # or: make bench
+
+Full-scale pytest runs are in ``test_perf_scenarios.py`` behind the
+``perf`` marker (opt in with ``--run-perf``); the tier-1 smoke test is
+``tests/test_perf_bench_smoke.py``.
+"""
+
+from repro.perfbench import (  # noqa: F401  (re-exported API)
+    DEFAULT_SCALES,
+    KERNEL_SCALES,
+    SCENARIO,
+    main,
+    run_kernel_scenario,
+    run_scales,
+    run_scenario,
+    write_report,
+)
+
+if __name__ == "__main__":
+    raise SystemExit(main())

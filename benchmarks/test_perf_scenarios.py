@@ -1,0 +1,32 @@
+"""Full-scale perf scenarios (opt in: ``pytest benchmarks/ --run-perf``).
+
+These take minutes at the larger scales, so they stay out of default
+collection; the assertions pin the *semantic* outputs (the perf harness
+must stay an equivalence check, not just a stopwatch).
+"""
+
+import pytest
+
+from repro.perfbench import run_kernel_scenario, run_scenario
+
+pytestmark = pytest.mark.perf
+
+#: The scenario's makespan is scale-invariant (every node gets
+#: tasks_per_node tasks) and must be bit-identical across builds.
+EXPECTED_MAKESPAN = 29.29000533333334
+
+
+@pytest.mark.parametrize("n_nodes", [1_000, 10_000])
+def test_oddci_scenario_semantics(n_nodes):
+    metrics = run_scenario(n_nodes)
+    assert metrics["makespan"] == pytest.approx(EXPECTED_MAKESPAN, abs=1e-9)
+    assert metrics["distinct_workers"] == n_nodes
+    assert metrics["n_tasks"] == 4 * n_nodes
+    assert metrics["events"] > 0
+
+
+def test_kernel_scenario_event_count_is_deterministic():
+    a = run_kernel_scenario(10_000)
+    b = run_kernel_scenario(10_000)
+    assert a["events"] == b["events"]
+    assert a["events"] > 10_000 * 28  # ~29-30 ticks per timer

@@ -202,6 +202,7 @@ class ObjectCarousel:
         *,
         section_format: SectionFormat = DEFAULT_SECTION_FORMAT,
         name: str = "carousel",
+        fast_forward: bool = False,
     ) -> None:
         self.sim = sim
         self.channel = channel
@@ -218,6 +219,17 @@ class ObjectCarousel:
         self._pending_reads: List[_PendingRead] = []
         self._cycles_completed = 0
         self._running = True
+        # Fast-forward: with no reader waiting the carousel's repetitions
+        # are pure clockwork — the transmit loop parks and the elapsed
+        # cycles are recovered arithmetically on the next read (or at the
+        # next boundary when an update is queued).  An idle broadcast
+        # channel then costs zero calendar entries.
+        self.fast_forward = bool(fast_forward)
+        self._parked = False
+        self._park_origin = 0.0
+        self._park_cycle = 0.0
+        self._park_epoch = 0
+        self._wake: Optional[Event] = None
         self._process = sim.process(self._transmit_loop())
 
     # -- content management --------------------------------------------------
@@ -227,6 +239,8 @@ class ObjectCarousel:
 
     @property
     def cycles_completed(self) -> int:
+        if self._parked:
+            return self._cycles_completed + self._virtual_cycles()
         return self._cycles_completed
 
     def current_file(self, name: str) -> CarouselFile:
@@ -249,6 +263,7 @@ class ObjectCarousel:
             raise FileNotInCarouselError(f"{name!r} not in carousel")
         updated = current.bumped(new_size_bits)
         self._pending_updates[name] = updated
+        self._wake_at_boundary()
         return updated
 
     def add_file(self, file: CarouselFile) -> None:
@@ -256,6 +271,7 @@ class ObjectCarousel:
         if file.name in self._files or self._pending_updates.get(file.name):
             raise CarouselError(f"file {file.name!r} already present")
         self._pending_updates[file.name] = file
+        self._wake_at_boundary()
 
     def replace_file(self, file: CarouselFile) -> None:
         """Queue a replacement (new content/metadata) for the next
@@ -270,16 +286,23 @@ class ObjectCarousel:
                 f"replacement of {file.name!r} must advance the version "
                 f"({file.version} <= {current.version})")
         self._pending_updates[file.name] = file
+        self._wake_at_boundary()
 
     def remove_file(self, name: str) -> None:
         """Queue removal of ``name`` at the next repetition."""
         if name not in self._files and name not in self._pending_updates:
             raise FileNotInCarouselError(f"{name!r} not in carousel")
         self._pending_updates[name] = None
+        self._wake_at_boundary()
 
     def stop(self) -> None:
         """Stop transmitting after the in-flight file completes."""
         self._running = False
+        if self._parked:
+            # Materialize the virtually elapsed cycles before the
+            # interrupt tears the parked loop down.
+            self._cycles_completed += self._virtual_cycles()
+            self._parked = False
         if self._process.alive:
             self._process.interrupt("carousel stopped")
 
@@ -296,6 +319,8 @@ class ObjectCarousel:
             raise FileNotInCarouselError(f"{name!r} not in carousel")
         ev = self.sim.event(name=f"{self.name}.read({name})")
         self._pending_reads.append(_PendingRead(name, self.sim.now, ev))
+        if self._parked and not self._wake.triggered:
+            self._wake.succeed(None)
         return ev
 
     # -- transmission loop -----------------------------------------------------
@@ -314,6 +339,18 @@ class ObjectCarousel:
                 if not self._files:
                     raise CarouselError(
                         f"carousel {self.name!r} emptied by updates")
+                if (self.fast_forward and not self._pending_reads
+                        and not self._pending_updates):
+                    cycle_start = yield from self._park()
+                    if not self._running:
+                        break
+                    if not self._pending_reads:
+                        # Boundary wake: updates were queued while parked
+                        # and we are exactly on a cycle boundary — loop
+                        # around to apply them (and likely re-park).
+                        continue
+                    yield from self._replay_tail(cycle_start)
+                    continue
                 # Control sections (DSI/DII) open the repetition.
                 control = Message(
                     sender=self.name, payload_bits=max(
@@ -333,6 +370,86 @@ class ObjectCarousel:
                 self._cycles_completed += 1
         except Interrupt:
             pass
+
+    # -- fast-forward ------------------------------------------------------
+    def _virtual_cycles(self) -> int:
+        """Whole cycles virtually elapsed since the loop parked."""
+        return int((self.sim.now - self._park_origin)
+                   / self._park_cycle + 1e-9)
+
+    def _park(self):
+        """Suspend transmission; cycles elapse arithmetically.
+
+        Returns the absolute start time of the (virtual) cycle in
+        progress at the moment of wake-up — ``sim.now`` itself when the
+        wake lands exactly on a boundary.
+        """
+        self._park_origin = self.sim.now
+        self._park_cycle = self.schedule_snapshot(self.sim.now).cycle_time
+        self._park_epoch += 1
+        self._parked = True
+        self._wake = self.sim.event(name=f"{self.name}.wake")
+        yield self._wake
+        self._parked = False
+        self._wake = None
+        elapsed = self._virtual_cycles()
+        self._cycles_completed += elapsed
+        return self._park_origin + elapsed * self._park_cycle
+
+    def _wake_at_boundary(self) -> None:
+        """Arm a wake at the next virtual cycle boundary (update queued
+        while parked): content changes apply between repetitions, so the
+        loop must resume there before the cycle length changes."""
+        if not self._parked:
+            return
+        boundary = self._park_origin + \
+            (self._virtual_cycles() + 1) * self._park_cycle
+        self.sim.call_at(boundary, self._boundary_wake, self._park_epoch)
+
+    def _boundary_wake(self, epoch: int) -> None:
+        if (self._parked and epoch == self._park_epoch
+                and not self._wake.triggered):
+            self._wake.succeed(None)
+
+    def _replay_tail(self, cycle_start: float):
+        """Resume mid-cycle after a read woke the parked loop.
+
+        Transmits the remainder of the in-progress virtual cycle on the
+        parked timetable: each segment is pinned to its scheduled window
+        via :meth:`BroadcastChannel.reserve_until`.  Windows that opened
+        before the wake are skipped — nothing was tuned in, and a read
+        requested now could not use them anyway (``wait_for_start``).
+        """
+        beta = self.channel.beta_bps
+        woke_at = self.sim.now
+        if cycle_start >= woke_at - 1e-9:
+            self.channel.reserve_until(cycle_start)
+            control = Message(
+                sender=self.name, payload_bits=max(
+                    0.0, self.section_format.cycle_control_bits()
+                    - DEFAULT_HEADER_BITS),
+                payload=("dsmcc-control", self._cycles_completed + 1))
+            yield self.channel.transmit(control)
+        offset = self.section_format.cycle_control_bits() / beta
+        for file in list(self._files.values()):
+            wire = self.section_format.wire_bits(file.size_bits)
+            tx_start = cycle_start + offset
+            offset += wire / beta
+            if tx_start < woke_at - 1e-9:
+                continue
+            self.channel.reserve_until(tx_start)
+            msg = Message(
+                sender=self.name,
+                payload_bits=max(0.0, wire - DEFAULT_HEADER_BITS),
+                payload=("dsmcc-file", file, tx_start))
+            yield self.channel.transmit(msg)
+            self._complete_reads(file, tx_start)
+        # Hold the channel to the end of the replayed cycle even when
+        # trailing windows were skipped: the always-on loop would still
+        # be transmitting them, so the next cycle must start on the same
+        # grid, not at the wake instant.
+        self.channel.reserve_until(cycle_start + offset)
+        self._cycles_completed += 1
 
     def _complete_reads(self, file: CarouselFile, tx_start: float) -> None:
         still_pending: List[_PendingRead] = []

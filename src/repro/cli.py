@@ -114,7 +114,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="OddCI reproduction — regenerate paper artifacts")
     parser.add_argument(
         "experiment",
-        help="experiment id, 'list', or 'all'")
+        help="experiment id, 'list', 'all', or 'bench' "
+             "(event-tier perf harness)")
     parser.add_argument("--seed", type=int, default=0,
                         help="random seed (default 0)")
     parser.add_argument("--out", type=str, default=None,
@@ -135,6 +136,12 @@ def run_experiment(name: str, seed: int = 0) -> str:
 
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        # Perf harness has its own flags (scales, label, out) — delegate.
+        from repro.perfbench import main as bench_main
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         width = max(len(k) for k in EXPERIMENTS)

@@ -94,7 +94,9 @@ class HeartbeatAggregator:
         # its digests traverse a real channel.
         router.register_pna(aggregator_id + ".chan", self.uplink,
                             self._on_downlink)
-        router.register_component(aggregator_id, self._receive)
+        router.register_component(aggregator_id, self._receive,
+                                  receive_batch=self._receive_batch,
+                                  receive_payload=self._receive_payload)
 
         self._idle_fresh: Set[str] = set()
         self._busy_fresh: Dict[str, Set[str]] = {}
@@ -105,7 +107,9 @@ class HeartbeatAggregator:
 
     # -- shard-facing ------------------------------------------------------
     def _receive(self, msg: Message) -> None:
-        payload = msg.payload
+        self._receive_payload(msg.payload)
+
+    def _receive_payload(self, payload) -> None:
         if not isinstance(payload, HeartbeatPayload):
             raise OddCIError(
                 f"aggregator got unexpected payload {payload!r}")
@@ -118,6 +122,21 @@ class HeartbeatAggregator:
             self._idle_fresh.discard(payload.pna_id)
             self._busy_fresh.setdefault(
                 payload.instance_id, set()).add(payload.pna_id)
+
+    def _receive_batch(self, payloads: list) -> None:
+        """Cohort fast path: fold a same-instant heartbeat batch."""
+        self.heartbeats_received += len(payloads)
+        idle_fresh = self._idle_fresh
+        busy_fresh = self._busy_fresh
+        for payload in payloads:
+            if payload.state is PNAState.IDLE:
+                idle_fresh.add(payload.pna_id)
+                for members in busy_fresh.values():
+                    members.discard(payload.pna_id)
+            else:
+                idle_fresh.discard(payload.pna_id)
+                busy_fresh.setdefault(
+                    payload.instance_id, set()).add(payload.pna_id)
 
     def _on_downlink(self, msg: Message) -> None:
         # Nothing flows down to the aggregator itself today; resets go
@@ -139,7 +158,7 @@ class HeartbeatAggregator:
                 )
                 self.router.send_from_pna(
                     self.aggregator_id + ".chan", self.controller_id,
-                    digest, digest.wire_bits())
+                    digest, digest.wire_bits(), quiet=True)
                 self.digests_sent += 1
                 self._period_start = self.sim.now
                 self._idle_fresh.clear()
@@ -168,18 +187,24 @@ class DigestingController:
         self.digests_received = 0
         router = controller.router
         router.unregister_component(controller.controller_id)
-        router.register_component(controller.controller_id, self._receive)
+        # Heartbeat cohort batches carry only HeartbeatPayloads, so they
+        # can bypass the digest dispatch straight into the controller.
+        router.register_component(controller.controller_id, self._receive,
+                                  receive_batch=controller._receive_batch,
+                                  receive_payload=self._receive_payload)
         # The wakeup-probability policy must see the digest-informed idle
         # census, so the wrapped controller's estimator is overridden.
         controller.idle_estimate = self.idle_estimate
 
     def _receive(self, msg: Message) -> None:
-        payload = msg.payload
+        self._receive_payload(msg.payload)
+
+    def _receive_payload(self, payload) -> None:
         if isinstance(payload, HeartbeatDigest):
             self._apply_digest(payload)
             return
         # Fall through to the controller's native heartbeat handling.
-        self.controller._receive(msg)
+        self.controller._receive_payload(payload)
 
     def _apply_digest(self, digest: HeartbeatDigest) -> None:
         self.digests_received += 1

@@ -142,9 +142,14 @@ class Backend:
         self.duplicates = 0
         self.requeues = 0
         self.replicas_issued = 0
+        #: (instance_id, retry_after_s) -> NoWork.  At the end of a job
+        #: every idle worker polls repeatedly; the replies are immutable
+        #: and drawn from a tiny value set, so they are shared.
+        self._nowork_cache: Dict[tuple, NoWork] = {}
         self.done_event: Event = sim.event(name=f"{backend_id}.done")
 
-        router.register_component(backend_id, self._receive)
+        router.register_component(backend_id, self._receive,
+                                  receive_payload=self._receive_payload)
         self._lease_proc = None
         if lease_factor is not None:
             self._lease_proc = sim.process(self._lease_loop())
@@ -185,7 +190,9 @@ class Backend:
 
     # -- message handling ------------------------------------------------------
     def _receive(self, msg: Message) -> None:
-        payload = msg.payload
+        self._receive_payload(msg.payload)
+
+    def _receive_payload(self, payload) -> None:
         if isinstance(payload, TaskRequest):
             self._handle_request(payload)
         elif isinstance(payload, TaskResultPayload):
@@ -204,8 +211,12 @@ class Backend:
             # Bag empty: if the job is done the worker can stop; otherwise
             # tasks are in flight and might be re-queued — poll again.
             retry = None if self.done else self.poll_interval_s
-            reply = NoWork(instance_id=request.instance_id,
-                           retry_after_s=retry)
+            cache_key = (request.instance_id, retry)
+            reply = self._nowork_cache.get(cache_key)
+            if reply is None:
+                reply = NoWork(instance_id=request.instance_id,
+                               retry_after_s=retry)
+                self._nowork_cache[cache_key] = reply
             self._send(request.pna_id, reply, CONTROL_PAYLOAD_BITS)
             return
         if not is_replica:
@@ -219,7 +230,10 @@ class Backend:
             self.tasks_assigned += 1
         else:
             self.replicas_issued += 1
-        self._holders.setdefault(task.task_id, set()).add(request.pna_id)
+        if self.replicate_tail:
+            # Copy-holder tracking only matters for replica placement;
+            # skip the per-task set when replication is off.
+            self._holders.setdefault(task.task_id, set()).add(request.pna_id)
         assignment = TaskAssignment(
             task_id=task.task_id, ref_seconds=task.ref_seconds,
             input_bits=task.input_bits, result_bits=task.result_bits)
@@ -269,7 +283,7 @@ class Backend:
         if not self.router.has_pna(pna_id):
             return  # node vanished between request and reply
         self.router.send_to_pna(self.backend_id, pna_id, payload,
-                                payload_bits)
+                                payload_bits, quiet=True)
 
     # -- lease management ----------------------------------------------------
     def _lease_loop(self):

@@ -134,7 +134,9 @@ class Controller:
         self.counters = Counter()
         self.size_history: Dict[str, TimeSeries] = {}
 
-        router.register_component(controller_id, self._receive)
+        router.register_component(controller_id, self._receive,
+                                  receive_batch=self._receive_batch,
+                                  receive_payload=self._receive_payload)
         self._maintenance_proc = sim.process(self._maintenance_loop())
 
     # -- provider-facing API ---------------------------------------------------
@@ -224,13 +226,30 @@ class Controller:
 
     # -- heartbeat handling -----------------------------------------------------------
     def _receive(self, msg: Message) -> None:
-        payload = msg.payload
+        self._receive_payload(msg.payload)
+
+    def _receive_payload(self, payload) -> None:
         if not isinstance(payload, HeartbeatPayload):
             raise OddCIError(f"controller got unexpected payload {payload!r}")
+        self.counters.incr("heartbeats")
+        self._consolidate(payload)
+
+    def _receive_batch(self, payloads: list) -> None:
+        """Bulk entry point for same-instant heartbeat cohorts.
+
+        Consolidation per payload is unchanged (order = cohort member
+        order = the order per-PNA messages used to arrive in); only the
+        per-message wrapping and counter bumps are amortised.
+        """
+        self.counters.incr("heartbeats", len(payloads))
+        consolidate = self._consolidate
+        for payload in payloads:
+            consolidate(payload)
+
+    def _consolidate(self, payload: HeartbeatPayload) -> None:
         now = self.sim.now
         self.registry[payload.pna_id] = (now, payload.state,
                                          payload.instance_id)
-        self.counters.incr("heartbeats")
 
         if payload.state is PNAState.IDLE:
             # An idle PNA may have silently left an instance earlier.
@@ -260,7 +279,7 @@ class Controller:
         self.router.send_to_pna(
             self.controller_id, pna_id,
             HeartbeatReply(pna_id=pna_id, reset=True),
-            CONTROL_PAYLOAD_BITS)
+            CONTROL_PAYLOAD_BITS, quiet=True)
         self.counters.incr("trim_replies")
 
     # -- maintenance -----------------------------------------------------------------

@@ -66,6 +66,10 @@ class DVE:
         self.tasks_completed = 0
         self.retransmissions = 0
         self._pending_reply: Optional[Event] = None
+        # Both request fields are fixed for the DVE's lifetime and the
+        # payload is frozen — one object serves every poll.
+        self._task_request = TaskRequest(pna_id=pna.pna_id,
+                                         instance_id=instance_id)
         self._process: Process = sim.process(self._client_loop())
 
     # -- message plumbing (called by the PNA's dispatcher) ----------------
@@ -89,18 +93,19 @@ class DVE:
     # -- the client loop -------------------------------------------------------
     def _client_loop(self):
         router: Router = self.pna.router
+        send_from_pna = router.send_from_pna
+        new_event = self.sim.event
+        pna_id = self.pna.pna_id
+        backend_id = self.backend_id
+        request = self._task_request
+        timeout = self.request_timeout_s
         try:
             while not self.destroyed:
                 # 1. ask the Backend for work (retry on reply timeout)
-                self._pending_reply = self.sim.event(name="dve.reply")
-                router.send_from_pna(
-                    self.pna.pna_id, self.backend_id,
-                    TaskRequest(pna_id=self.pna.pna_id,
-                                instance_id=self.instance_id),
-                    CONTROL_PAYLOAD_BITS)
-                yield self.sim.any_of([
-                    self._pending_reply,
-                    self.sim.timeout(self.request_timeout_s)])
+                self._pending_reply = new_event(name="dve.reply")
+                send_from_pna(pna_id, backend_id, request,
+                              CONTROL_PAYLOAD_BITS, quiet=True)
+                yield self._pending_reply, timeout
                 if not self._pending_reply.triggered:
                     self._pending_reply = None
                     self.retransmissions += 1
@@ -108,12 +113,12 @@ class DVE:
                 reply = self._pending_reply.value
                 self._pending_reply = None
 
-                if isinstance(reply, NoWork):
-                    if reply.retry_after_s is None:
-                        return self.tasks_completed  # bag is dry: stop
-                    yield reply.retry_after_s
-                    continue
                 if not isinstance(reply, TaskAssignment):
+                    if isinstance(reply, NoWork):
+                        if reply.retry_after_s is None:
+                            return self.tasks_completed  # bag is dry: stop
+                        yield reply.retry_after_s
+                        continue
                     raise OddCIError(
                         f"DVE got unexpected backend reply {reply!r}")
 
@@ -123,14 +128,14 @@ class DVE:
 
                 # 3. ship the result — at-least-once: retransmit until the
                 #    link confirms delivery (the Backend deduplicates)
+                result = TaskResultPayload(pna_id=pna_id,
+                                           task_id=reply.task_id)
                 while not self.destroyed:
-                    done = router.send_from_pna(
-                        self.pna.pna_id, self.backend_id,
-                        TaskResultPayload(pna_id=self.pna.pna_id,
-                                          task_id=reply.task_id),
-                        CONTROL_PAYLOAD_BITS + reply.result_bits)
-                    yield self.sim.any_of([
-                        done, self.sim.timeout(self.request_timeout_s)])
+                    done = new_event(name="dve.sent")
+                    router.send_from_pna_notify(
+                        pna_id, backend_id, result,
+                        CONTROL_PAYLOAD_BITS + reply.result_bits, done)
+                    yield done, timeout
                     if done.triggered:
                         break
                     self.retransmissions += 1

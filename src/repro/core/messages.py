@@ -104,7 +104,7 @@ class ResetPayload:
         return {"type": "reset", "instance_id": self.instance_id or "*"}
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HeartbeatPayload:
     """Periodic PNA → Controller status report."""
 
@@ -119,7 +119,7 @@ class HeartbeatPayload:
             raise OddCIError("busy heartbeat must carry an instance_id")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HeartbeatReply:
     """Controller → PNA answer to a heartbeat.
 
@@ -133,7 +133,7 @@ class HeartbeatReply:
 
 # -- Backend task protocol --------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TaskRequest:
     """PNA → Backend: give me work for this instance."""
 
@@ -141,7 +141,7 @@ class TaskRequest:
     instance_id: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TaskAssignment:
     """Backend → PNA: one task to execute (carries ``input_bits``)."""
 
@@ -151,7 +151,7 @@ class TaskAssignment:
     result_bits: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TaskResultPayload:
     """PNA → Backend: result of a finished task (``result_bits``)."""
 
@@ -159,7 +159,7 @@ class TaskResultPayload:
     task_id: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NoWork:
     """Backend → PNA: no task available right now.
 
@@ -179,9 +179,31 @@ def sign_control(key: bytes, payload) -> bytes:
     return crypto.sign(key, payload.signable_fields())
 
 
+#: (id(payload), key, tag) -> (payload, verdict).  A broadcast delivers
+#: the *same* payload object to every subscribed PNA back-to-back, so
+#: the MAC over its canonical rendering need only be computed once per
+#: (payload, key) — not once per listener.  The payload reference in the
+#: value pins the object while the entry exists, so ``id`` reuse after
+#: garbage collection can never alias a stale entry.
+_verify_cache: dict = {}
+
+
 def verify_control(key: bytes, payload, tag: bytes) -> bool:
-    """Verify a broadcast control payload against ``tag``."""
-    return crypto.verify(key, payload.signable_fields(), tag)
+    """Verify a broadcast control payload against ``tag``.
+
+    Pure and deterministic, hence safely memoized (see ``_verify_cache``);
+    with a fleet of N listeners this turns signature checking for one
+    broadcast from N MAC computations into one.
+    """
+    cache_key = (id(payload), key, tag)
+    hit = _verify_cache.get(cache_key)
+    if hit is not None and hit[0] is payload:
+        return hit[1]
+    verdict = crypto.verify(key, payload.signable_fields(), tag)
+    if len(_verify_cache) >= 8:
+        _verify_cache.clear()
+    _verify_cache[cache_key] = (payload, verdict)
+    return verdict
 
 
 def matches_requirements(requirements: Mapping[str, Any],

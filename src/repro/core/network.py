@@ -10,17 +10,23 @@ bottleneck, not the datacenter side.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.errors import NetworkError
+from repro.errors import LinkDownError, NetworkError
 from repro.net.link import DuplexChannel
-from repro.net.message import Message
+from repro.net.message import DEFAULT_HEADER_BITS, Message
 from repro.sim.core import Event, Simulator
 
 __all__ = ["Router"]
 
 #: Component-side receive callback: (message, router) -> None
 ReceiveFn = Callable[[Message], None]
+
+#: Batched receive callback: a list of payloads arriving together.
+ReceiveBatchFn = Callable[[list], None]
+
+#: Bare-payload receive callback (quiet fast path, no Message wrapper).
+ReceivePayloadFn = Callable[[Any], None]
 
 
 class Router:
@@ -30,26 +36,59 @@ class Router:
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self._components: Dict[str, ReceiveFn] = {}
+        self._batch_receivers: Dict[str, ReceiveBatchFn] = {}
+        self._payload_receivers: Dict[str, ReceivePayloadFn] = {}
         self._pna_channels: Dict[str, DuplexChannel] = {}
         self._pna_receivers: Dict[str, ReceiveFn] = {}
+        self._pna_payload_receivers: Dict[str, ReceivePayloadFn] = {}
+        #: heartbeat cohorts keyed (controller_id, interval_s, phase);
+        #: owned by the PNAs (see repro.core.pna) but stored here because
+        #: the cohort is a property of the shared network fabric.
+        self._cohorts: Dict[tuple, Any] = {}
         self.undeliverable = 0
 
     # -- registration ----------------------------------------------------
-    def register_component(self, component_id: str,
-                           receive: ReceiveFn) -> None:
+    def register_component(self, component_id: str, receive: ReceiveFn,
+                           *,
+                           receive_batch: Optional[ReceiveBatchFn] = None,
+                           receive_payload: Optional[ReceivePayloadFn] = None,
+                           ) -> None:
+        """Register a component receive callback.
+
+        ``receive_batch`` — optional bulk entry point: when a heartbeat
+        cohort delivers many same-instant payloads (see
+        :meth:`send_heartbeats`), it is called once with the list of
+        payloads instead of once per :class:`Message`.  Components
+        without one receive per-payload fallback messages.
+
+        ``receive_payload`` — optional bare-payload entry point: quiet
+        sends addressed to this component skip the :class:`Message`
+        wrapper entirely (timing, byte accounting and loss draws are
+        unchanged — only the envelope allocation is elided).
+        """
         if component_id in self._components:
             raise NetworkError(f"component {component_id!r} already registered")
         self._components[component_id] = receive
+        if receive_batch is not None:
+            self._batch_receivers[component_id] = receive_batch
+        if receive_payload is not None:
+            self._payload_receivers[component_id] = receive_payload
 
     def unregister_component(self, component_id: str) -> None:
         self._components.pop(component_id, None)
+        self._batch_receivers.pop(component_id, None)
+        self._payload_receivers.pop(component_id, None)
 
     def register_pna(self, pna_id: str, channel: DuplexChannel,
-                     receive: ReceiveFn) -> None:
+                     receive: ReceiveFn, *,
+                     receive_payload: Optional[ReceivePayloadFn] = None,
+                     ) -> None:
         if pna_id in self._pna_channels:
             raise NetworkError(f"PNA {pna_id!r} already registered")
         self._pna_channels[pna_id] = channel
         self._pna_receivers[pna_id] = receive
+        if receive_payload is not None:
+            self._pna_payload_receivers[pna_id] = receive_payload
         channel.uplink.attach(self._deliver_to_component)
         channel.downlink.attach(
             lambda msg, pna_id=pna_id: self._deliver_to_pna(pna_id, msg))
@@ -57,34 +96,178 @@ class Router:
     def unregister_pna(self, pna_id: str) -> None:
         self._pna_channels.pop(pna_id, None)
         self._pna_receivers.pop(pna_id, None)
+        self._pna_payload_receivers.pop(pna_id, None)
 
     # -- sending ------------------------------------------------------------
     def send_from_pna(self, pna_id: str, recipient: str, payload: Any,
-                      payload_bits: float) -> Event:
+                      payload_bits: float, *,
+                      quiet: bool = False) -> Optional[Event]:
         """Send over the PNA's uplink to a component; returns the link's
         completion event (silently undeliverable if the component is
-        unknown at delivery time)."""
+        unknown at delivery time).
+
+        ``quiet=True`` is the fire-and-forget form for callers that
+        ignore the completion event: timing, byte accounting and loss
+        draws are identical, but no Event is allocated and ``None`` is
+        returned.
+        """
         channel = self._pna_channels.get(pna_id)
         if channel is None:
             raise NetworkError(f"unknown PNA {pna_id!r}")
-        msg = Message(sender=pna_id, recipient=recipient,
-                      payload=payload, payload_bits=payload_bits)
-        msg.stamped(self.sim.now)
-        return channel.uplink.send(msg)
+        if quiet:
+            if recipient in self._payload_receivers:
+                link = channel.uplink
+                deliver_at = link.offer(payload_bits + DEFAULT_HEADER_BITS)
+                if deliver_at is not None:
+                    self.sim.call_at(deliver_at, self._deliver_payload_up,
+                                     link, recipient, payload)
+                return None
+            channel.uplink.send_quiet(Message(
+                sender=pna_id, recipient=recipient, payload=payload,
+                payload_bits=payload_bits, created_at=self.sim.now))
+            return None
+        return channel.uplink.send(Message(
+            sender=pna_id, recipient=recipient, payload=payload,
+            payload_bits=payload_bits, created_at=self.sim.now))
 
     def send_to_pna(self, sender: str, pna_id: str, payload: Any,
-                    payload_bits: float) -> Event:
-        """Send over the PNA's downlink; raises on unknown PNA."""
+                    payload_bits: float, *,
+                    quiet: bool = False) -> Optional[Event]:
+        """Send over the PNA's downlink; raises on unknown PNA.
+
+        ``quiet`` — as in :meth:`send_from_pna`.
+        """
         channel = self._pna_channels.get(pna_id)
         if channel is None:
             raise NetworkError(f"unknown PNA {pna_id!r}")
-        msg = Message(sender=sender, recipient=pna_id,
-                      payload=payload, payload_bits=payload_bits)
-        msg.stamped(self.sim.now)
-        return channel.downlink.send(msg)
+        if quiet:
+            if pna_id in self._pna_payload_receivers:
+                link = channel.downlink
+                deliver_at = link.offer(payload_bits + DEFAULT_HEADER_BITS)
+                if deliver_at is not None:
+                    self.sim.call_at(deliver_at, self._deliver_payload_down,
+                                     link, pna_id, payload)
+                return None
+            channel.downlink.send_quiet(Message(
+                sender=sender, recipient=pna_id, payload=payload,
+                payload_bits=payload_bits, created_at=self.sim.now))
+            return None
+        return channel.downlink.send(Message(
+            sender=sender, recipient=pna_id, payload=payload,
+            payload_bits=payload_bits, created_at=self.sim.now))
+
+    def send_from_pna_notify(self, pna_id: str, recipient: str, payload: Any,
+                             payload_bits: float, event: Event) -> None:
+        """Uplink send that settles ``event`` at delivery time.
+
+        Equivalent to :meth:`send_from_pna` with the returned completion
+        event supplied by the caller — for senders that already own a
+        wait event, this skips the :class:`Message` envelope when the
+        recipient accepts bare payloads.  A lost message never settles
+        ``event`` (callers guard with a timeout); a down link fails it.
+        """
+        channel = self._pna_channels.get(pna_id)
+        if channel is None:
+            raise NetworkError(f"unknown PNA {pna_id!r}")
+        link = channel.uplink
+        if recipient in self._payload_receivers:
+            if not link.up:
+                self.sim.schedule_fast(0.0, event.fail, LinkDownError(
+                    f"link {link.name!r} is down"))
+                return
+            deliver_at = link.offer(payload_bits + DEFAULT_HEADER_BITS)
+            if deliver_at is not None:
+                self.sim.call_at(deliver_at, self._deliver_payload_notify,
+                                 link, recipient, payload, event)
+            return
+        # Fallback: classic Message path with a forwarding callback.
+        done = channel.uplink.send(Message(
+            sender=pna_id, recipient=recipient, payload=payload,
+            payload_bits=payload_bits, created_at=self.sim.now))
+        done.add_callback(lambda ev: event.fail(ev._value) if not ev._ok
+                          else event.succeed(ev._value))
+
+    def _deliver_payload_notify(self, link, recipient: str, payload: Any,
+                                event: Event) -> None:
+        link.count_delivery()
+        receive = self._payload_receivers.get(recipient)
+        if receive is None:
+            self.undeliverable += 1
+        else:
+            receive(payload)
+        if not event.triggered:
+            event.succeed(None)
 
     def has_pna(self, pna_id: str) -> bool:
         return pna_id in self._pna_channels
+
+    # -- bare-payload delivery (quiet fast path) -------------------------
+    def _deliver_payload_up(self, link, recipient: str, payload: Any) -> None:
+        link.count_delivery()
+        receive = self._payload_receivers.get(recipient)
+        if receive is None:
+            self.undeliverable += 1  # unregistered while in flight
+            return
+        receive(payload)
+
+    def _deliver_payload_down(self, link, pna_id: str, payload: Any) -> None:
+        link.count_delivery()
+        receive = self._pna_payload_receivers.get(pna_id)
+        if receive is None:
+            self.undeliverable += 1
+            return
+        receive(payload)
+
+    # -- batched heartbeats ----------------------------------------------
+    def send_heartbeats(self, entries: List[Tuple[str, Any]],
+                        recipient: str, payload_bits: float) -> None:
+        """Uplink-send one heartbeat payload per ``(pna_id, payload)``.
+
+        The cohort fast path: each member's uplink is reserved through
+        :meth:`~repro.net.link.Link.offer` (identical FIFO math, byte
+        accounting and loss draws as ``send``), then deliveries are
+        bucketed by arrival time so each distinct arrival instant costs
+        **one** calendar entry instead of one Event + Message per PNA.
+        With a homogeneous fleet that is a single entry per tick.
+        """
+        size_bits = payload_bits + DEFAULT_HEADER_BITS
+        channels = self._pna_channels
+        buckets: Dict[float, list] = {}
+        for pna_id, payload in entries:
+            channel = channels.get(pna_id)
+            if channel is None:
+                continue  # node vanished; the old per-PNA timer is gone too
+            deliver_at = channel.uplink.offer(size_bits)
+            if deliver_at is None:
+                continue  # link down or message lost in flight
+            bucket = buckets.get(deliver_at)
+            if bucket is None:
+                buckets[deliver_at] = bucket = []
+            bucket.append((channel.uplink, payload))
+        sent_at = self.sim.now
+        for deliver_at, batch in buckets.items():
+            self.sim.call_at(deliver_at, self._deliver_batch, recipient,
+                             payload_bits, sent_at, batch)
+
+    def _deliver_batch(self, recipient: str, payload_bits: float,
+                       sent_at: float, batch: list) -> None:
+        for link, _payload in batch:
+            link.count_delivery()
+        receive_batch = self._batch_receivers.get(recipient)
+        if receive_batch is not None:
+            receive_batch([payload for _link, payload in batch])
+            return
+        receive = self._components.get(recipient)
+        if receive is None:
+            self.undeliverable += len(batch)
+            return
+        # Per-message fallback for components without a batch entry point
+        # (aggregators, test doubles): reconstruct what link.send would
+        # have delivered.
+        for _link, payload in batch:
+            receive(Message(sender=payload.pna_id, recipient=recipient,
+                            payload=payload, payload_bits=payload_bits,
+                            created_at=sent_at))
 
     # -- delivery --------------------------------------------------------
     def _deliver_to_component(self, msg: Message) -> None:

@@ -14,7 +14,8 @@ a :class:`~repro.net.broadcast.BroadcastChannel`.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Mapping, Optional
+import math
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from repro.errors import OddCIError
 from repro.core.dve import CONTROL_PAYLOAD_BITS, DVE
@@ -31,9 +32,72 @@ from repro.core.network import Router
 from repro.net.link import DuplexChannel
 from repro.net.message import Message
 from repro.sim.core import Simulator
-from repro.sim.process import Interrupt
+from repro.sim.wheel import TimerWheel
 
 __all__ = ["PNA"]
+
+
+class _HeartbeatCohort:
+    """All PNAs of one controller sharing a heartbeat (interval, phase).
+
+    Instead of one timer process per PNA, the cohort subscribes a single
+    :class:`~repro.sim.wheel.TimerWheel` tick and sends every member's
+    heartbeat through the router's batched uplink path — one calendar
+    entry per period per cohort rather than two per period per PNA.
+
+    Correctness of sharing rests on phase keying: members are grouped by
+    ``fmod(join_time, interval)``, so every wheel tick is congruent to
+    each member's own timetable; a member joining mid-cycle simply skips
+    ticks at or before its join time (``joined_at < tick_time`` guard)
+    and first beats exactly ``interval`` after joining — identical to a
+    private timer.
+    """
+
+    __slots__ = ("router", "controller_id", "key", "wheel", "members",
+                 "_token")
+
+    def __init__(self, sim: Simulator, router: Router, controller_id: str,
+                 interval_s: float, key: tuple) -> None:
+        self.router = router
+        self.controller_id = controller_id
+        self.key = key
+        self.wheel = TimerWheel(
+            sim, interval_s, name=f"hb:{controller_id}:{interval_s:g}")
+        #: pna_id -> (pna, joined_at); insertion order = join order, so
+        #: a cohort beat consolidates in the same order as the per-PNA
+        #: timer processes it replaces.
+        self.members: Dict[str, Tuple["PNA", float]] = {}
+        self._token: Optional[int] = None
+
+    def add(self, pna: "PNA") -> None:
+        if not self.members:
+            self._token = self.wheel.subscribe(self._tick)
+        self.members[pna.pna_id] = (pna, pna.sim.now)
+
+    def remove(self, pna_id: str) -> None:
+        self.members.pop(pna_id, None)
+        if not self.members:
+            if self._token is not None:
+                self.wheel.unsubscribe(self._token)
+                self._token = None
+            self.router._cohorts.pop(self.key, None)
+
+    def _tick(self, tick_time: float) -> None:
+        entries = []
+        for pna, joined_at in self.members.values():
+            if joined_at >= tick_time or not pna.online:
+                continue
+            pna.heartbeats_sent += 1
+            payload = pna._hb_payload
+            if (payload is None or payload.state is not pna.state
+                    or payload.instance_id != pna.instance_id):
+                pna._hb_payload = payload = HeartbeatPayload(
+                    pna_id=pna.pna_id, state=pna.state,
+                    instance_id=pna.instance_id)
+            entries.append((pna.pna_id, payload))
+        if entries:
+            self.router.send_heartbeats(entries, self.controller_id,
+                                        CONTROL_PAYLOAD_BITS)
 
 #: executor maps reference-PC seconds -> local device seconds.
 Executor = Callable[[float], float]
@@ -101,8 +165,29 @@ class PNA:
         self.resets_handled = 0
         self.heartbeats_sent = 0
 
-        router.register_pna(pna_id, channel, self._on_downlink)
-        self._heartbeat_proc = sim.process(self._heartbeat_loop())
+        #: cached payload reused across beats while (state, instance)
+        #: are unchanged — HeartbeatPayload is frozen, so sharing is safe.
+        self._hb_payload: Optional[HeartbeatPayload] = None
+        self._hb_cohort: Optional[_HeartbeatCohort] = None
+
+        router.register_pna(pna_id, channel, self._on_downlink,
+                            receive_payload=self._on_downlink_payload)
+        self._join_heartbeat_cohort()
+
+    @property
+    def controller_id(self) -> str:
+        return self._controller_id
+
+    @controller_id.setter
+    def controller_id(self, value: str) -> None:
+        # Heartbeats are routed per cohort, so retargeting the controller
+        # (e.g. pointing the PNA at an aggregator) must re-key the
+        # cohort membership.  The timer restarts: the next beat lands a
+        # full interval after the change.
+        self._controller_id = value
+        cohort = getattr(self, "_hb_cohort", None)
+        if cohort is not None and cohort.controller_id != value:
+            self._restart_heartbeat()
 
     # -- control-plane entry point ------------------------------------------
     def deliver_control(
@@ -192,9 +277,11 @@ class PNA:
     # -- direct channel ---------------------------------------------------------
     def _on_downlink(self, msg: Message) -> None:
         """Dispatcher for messages arriving on the node's downlink."""
+        self._on_downlink_payload(msg.payload)
+
+    def _on_downlink_payload(self, payload) -> None:
         if not self.online:
             return
-        payload = msg.payload
         if isinstance(payload, HeartbeatReply):
             if payload.reset and self.state is PNAState.BUSY:
                 self.resets_handled += 1
@@ -204,26 +291,32 @@ class PNA:
         if self.dve is not None:
             self.dve.on_backend_message(payload)
 
-    def _restart_heartbeat(self) -> None:
-        """Replace the heartbeat process (new interval applies at once)."""
-        if self._heartbeat_proc.alive:
-            self._heartbeat_proc.interrupt("heartbeat reconfigured")
-        self._heartbeat_proc = self.sim.process(self._heartbeat_loop())
+    def _join_heartbeat_cohort(self) -> None:
+        """Join (creating if needed) the cohort for my (interval, phase).
 
-    def _heartbeat_loop(self):
-        try:
-            while True:
-                yield self.heartbeat_interval_s
-                if not self.online:
-                    continue
-                hb = HeartbeatPayload(pna_id=self.pna_id, state=self.state,
-                                      instance_id=self.instance_id)
-                self.router.send_from_pna(
-                    self.pna_id, self.controller_id, hb,
-                    CONTROL_PAYLOAD_BITS)
-                self.heartbeats_sent += 1
-        except Interrupt:
-            pass
+        Cohorts are shared timetables: every wheel tick of the cohort
+        keyed ``(controller, I, fmod(now, I))`` lands exactly ``k * I``
+        after this join, so membership is behaviourally identical to a
+        private every-``I`` timer process — at a fraction of the
+        calendar traffic.
+        """
+        interval = self.heartbeat_interval_s
+        key = (self.controller_id, interval,
+               math.fmod(self.sim.now, interval))
+        cohort = self.router._cohorts.get(key)
+        if cohort is None:
+            cohort = _HeartbeatCohort(self.sim, self.router,
+                                      self.controller_id, interval, key)
+            self.router._cohorts[key] = cohort
+        cohort.add(self)
+        self._hb_cohort = cohort
+
+    def _restart_heartbeat(self) -> None:
+        """Re-key the cohort membership (new interval applies at once)."""
+        if self._hb_cohort is not None:
+            self._hb_cohort.remove(self.pna_id)
+            self._hb_cohort = None
+        self._join_heartbeat_cohort()
 
     # -- owner actions (power) ---------------------------------------------------
     def shutdown(self, *, manage_channel: bool = True) -> None:

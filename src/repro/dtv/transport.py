@@ -74,15 +74,23 @@ class Service:
         return self.av_rate_bps + self.data_rate_bps
 
     # -- carousel ----------------------------------------------------------
-    def mount_carousel(self, files: Iterable[CarouselFile]) -> ObjectCarousel:
-        """Start a DSM-CC carousel on this service's data channel."""
+    def mount_carousel(self, files: Iterable[CarouselFile],
+                       *, fast_forward: bool = False) -> ObjectCarousel:
+        """Start a DSM-CC carousel on this service's data channel.
+
+        ``fast_forward=True`` lets the carousel park while no read is
+        outstanding (see :class:`~repro.carousel.carousel.ObjectCarousel`)
+        — recommended for large-scale simulations where the staging
+        channel idles between instance creations.
+        """
         if self.carousel is not None:
             raise DTVError(
                 f"service {self.name!r} already has a carousel mounted")
         self.carousel = ObjectCarousel(
             self.sim, self.data_channel, files,
             section_format=self.section_format,
-            name=f"svc{self.service_id}.carousel")
+            name=f"svc{self.service_id}.carousel",
+            fast_forward=fast_forward)
         return self.carousel
 
     def unmount_carousel(self) -> None:

@@ -49,6 +49,7 @@ class BroadcastChannel:
         self.name = name
         self._listeners: dict[int, Listener] = {}
         self._next_token = 0
+        self._ev_name = name + ".tx"
         self._busy_until = sim.now
         self._transmissions = 0
         self._bits_sent = 0.0
@@ -98,9 +99,19 @@ class BroadcastChannel:
         done = start + self.airtime(message.size_bits)
         self._busy_until = done
         self._bits_sent += message.size_bits
-        ev = self.sim.event(name=f"{self.name}.tx#{message.msg_id}")
-        self.sim.schedule_at(done, self._deliver, message, ev)
+        ev = Event(self.sim, self._ev_name)
+        self.sim.call_at(done, self._deliver, message, ev)
         return ev
+
+    def reserve_until(self, time: float) -> None:
+        """Hold the multiplex busy until ``time`` without sending bits.
+
+        Used by the carousel's fast-forward wake path to re-align real
+        transmissions with the virtual cycle timetable after an idle
+        (parked) period.  A reservation in the past is a no-op.
+        """
+        if time > self._busy_until:
+            self._busy_until = time
 
     def _deliver(self, message: Message, ev: Event) -> None:
         self._transmissions += 1

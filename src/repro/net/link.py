@@ -72,6 +72,7 @@ class Link:
         self.loss = float(loss)
         self.name = name
         self._rng_stream = rng_stream or f"link:{name}"
+        self._ev_name = name + ".send"
         self._busy_until = sim.now
         self._up = True
         self._delivered = 0
@@ -125,15 +126,19 @@ class Link:
         either fails (``fail_on_loss``) or never settles.  Sending on a
         downed link fails immediately.
         """
-        ev = self.sim.event(name=f"{self.name}.send#{message.msg_id}")
+        ev = Event(self.sim, self._ev_name)
         if not self._up:
-            self.sim.schedule(0.0, ev.fail,
-                              LinkDownError(f"link {self.name!r} is down"))
+            self.sim.schedule_fast(
+                0.0, ev.fail, LinkDownError(f"link {self.name!r} is down"))
             return ev
-        start = max(self._busy_until, self.sim.now)
-        done_serializing = start + self.serialization_time(message)
+        size_bits = message.size_bits
+        now = self.sim.now
+        start = self._busy_until
+        if now > start:
+            start = now
+        done_serializing = start + size_bits / self.rate_bps
         self._busy_until = done_serializing
-        self._bits_sent += message.size_bits
+        self._bits_sent += size_bits
         deliver_at = done_serializing + self.latency_s
 
         lost = False
@@ -143,14 +148,78 @@ class Link:
         if lost:
             self._dropped += 1
             if fail_on_loss:
-                self.sim.schedule_at(
+                self.sim.call_at(
                     deliver_at, ev.fail,
                     LinkDownError(f"message {message.msg_id} lost on "
                                   f"{self.name!r}"))
             return ev
 
-        self.sim.schedule_at(deliver_at, self._deliver, message, ev)
+        self.sim.call_at(deliver_at, self._deliver, message, ev)
         return ev
+
+    def send_quiet(self, message: Message) -> None:
+        """Fire-and-forget :meth:`send` — no completion :class:`Event`.
+
+        For callers that ignore the completion event (requests, replies,
+        heartbeats): identical FIFO math, byte accounting and loss draw
+        (same RNG stream, same order), but no Event is allocated and a
+        down link or a lost message simply never delivers.
+        """
+        if not self._up:
+            return
+        size_bits = message.size_bits
+        now = self.sim.now
+        start = self._busy_until
+        if now > start:
+            start = now
+        done_serializing = start + size_bits / self.rate_bps
+        self._busy_until = done_serializing
+        self._bits_sent += size_bits
+        if self.loss > 0.0 and bool(
+                self.sim.rng(self._rng_stream).random() < self.loss):
+            self._dropped += 1
+            return
+        self.sim.call_at(done_serializing + self.latency_s,
+                         self._deliver_quiet, message)
+
+    def _deliver_quiet(self, message: Message) -> None:
+        self._delivered += 1
+        receiver = self._receiver
+        if receiver is not None:
+            receiver(message)
+
+    def offer(self, size_bits: float) -> Optional[float]:
+        """Reserve serializer time for ``size_bits``; return delivery time.
+
+        This is :meth:`send` without the :class:`Message`/:class:`Event`
+        allocations — the batched heartbeat path
+        (:meth:`repro.core.network.Router.send_heartbeats`) uses it.  The
+        FIFO math, byte accounting and the loss draw (same RNG stream,
+        same order) are identical to :meth:`send`, so swapping one path
+        for the other never perturbs timing or random streams.
+
+        Returns ``None`` when the link is down or the message is lost
+        (the caller counts the delivery at the returned time via
+        :meth:`count_delivery`).
+        """
+        if not self._up:
+            return None
+        now = self.sim.now
+        start = self._busy_until
+        if now > start:
+            start = now
+        done_serializing = start + size_bits / self.rate_bps
+        self._busy_until = done_serializing
+        self._bits_sent += size_bits
+        if self.loss > 0.0 and bool(
+                self.sim.rng(self._rng_stream).random() < self.loss):
+            self._dropped += 1
+            return None
+        return done_serializing + self.latency_s
+
+    def count_delivery(self) -> None:
+        """Account one delivery arranged through :meth:`offer`."""
+        self._delivered += 1
 
     def _deliver(self, message: Message, ev: Event) -> None:
         self._delivered += 1

@@ -11,7 +11,6 @@ are bit rates); helpers convert from bytes.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.errors import ConfigurationError
@@ -50,9 +49,11 @@ def bytes_from_bits(n_bits: float) -> float:
     return float(n_bits) / 8.0
 
 
-@dataclass
 class Message:
     """Base class for everything that traverses a simulated channel.
+
+    A plain ``__slots__`` class rather than a dataclass: every simulated
+    send allocates one, so construction is on the event tier's hot path.
 
     Attributes
     ----------
@@ -64,26 +65,41 @@ class Message:
     payload:
         Arbitrary structured content (dicts, dataclasses); carried by
         reference — the simulation charges time only for ``size_bits``.
+    size_bits:
+        Total wire size including framing overhead (precomputed).
     """
 
-    sender: str = ""
-    recipient: str = "*"
-    payload_bits: float = 0.0
-    payload: Any = None
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
-    created_at: Optional[float] = None
+    __slots__ = ("sender", "recipient", "payload_bits", "payload",
+                 "msg_id", "created_at", "size_bits")
 
-    def __post_init__(self) -> None:
-        if self.payload_bits < 0:
+    def __init__(
+        self,
+        sender: str = "",
+        recipient: str = "*",
+        payload_bits: float = 0.0,
+        payload: Any = None,
+        msg_id: Optional[int] = None,
+        created_at: Optional[float] = None,
+    ) -> None:
+        if payload_bits < 0:
             raise ConfigurationError(
-                f"payload_bits must be >= 0, got {self.payload_bits!r}")
-
-    @property
-    def size_bits(self) -> float:
-        """Total wire size including framing overhead."""
-        return self.payload_bits + DEFAULT_HEADER_BITS
+                f"payload_bits must be >= 0, got {payload_bits!r}")
+        self.sender = sender
+        self.recipient = recipient
+        self.payload_bits = payload_bits
+        self.payload = payload
+        self.msg_id = next(_msg_ids) if msg_id is None else msg_id
+        self.created_at = created_at
+        self.size_bits = payload_bits + DEFAULT_HEADER_BITS
 
     def stamped(self, now: float) -> "Message":
         """Record creation time (returns self for chaining)."""
         self.created_at = now
         return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Message(sender={self.sender!r}, "
+                f"recipient={self.recipient!r}, "
+                f"payload_bits={self.payload_bits!r}, "
+                f"payload={self.payload!r}, msg_id={self.msg_id!r}, "
+                f"created_at={self.created_at!r})")

@@ -1,0 +1,260 @@
+"""Event-tier performance harness — the repo's perf measuring stick.
+
+Two scenario families, each probing a different layer:
+
+* ``kernel`` — pure DES timer churn: N self-rescheduling callbacks on a
+  bare :class:`~repro.sim.core.Simulator`.  The event count is identical
+  on every build (the workload *is* the events), so ``events_per_sec``
+  ratios measure raw kernel throughput with nothing else moving.
+* ``oddci`` — the full wakeup+heartbeat+bag-of-tasks cycle on the
+  faithful per-node event tier at 10^3 / 10^4 / 10^5 PNAs.  Batching
+  optimisations legitimately *remove* events here, so compare
+  ``wall_s`` (and semantic outputs: ``makespan`` must be bit-identical
+  across builds) rather than raw events/sec.
+
+Recorded per run: ``events`` / ``events_per_sec``, ``peak_heap``
+(maximum calendar size, sampled), ``build_wall_s`` / ``run_wall_s``,
+and ``makespan`` / ``sim_time`` so before/after runs can be compared
+for equivalence, not just speed.
+
+Measurement policy: the garbage collector is disabled for the timed
+section (the ``timeit`` convention) and restored afterwards; wall
+numbers are only comparable when before/after runs interleave in fresh
+processes on an otherwise idle machine — single runs on shared hosts
+carry ±10% noise.
+
+Results are written as JSON (``BENCH_event_tier.json`` at the repo root
+is the tracked artifact; see DESIGN.md §8).  Regenerate with::
+
+    python -m repro bench                # or: make bench
+    python -m repro bench --scales 1000 10000 --label after
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import platform
+import time
+from typing import Dict, List, Optional
+
+from repro.net.message import MEGABYTE
+
+__all__ = [
+    "SCENARIO",
+    "DEFAULT_SCALES",
+    "KERNEL_SCALES",
+    "run_scenario",
+    "run_kernel_scenario",
+    "run_scales",
+    "write_report",
+    "main",
+]
+
+DEFAULT_SCALES = (1_000, 10_000, 100_000)
+KERNEL_SCALES = (10_000,)
+
+#: Scenario constants — change these and old JSON is incomparable.
+SCENARIO = {
+    "tasks_per_node": 4,
+    "ref_seconds": 5.0,
+    "input_bits": 4096.0,
+    "result_bits": 4096.0,
+    "image_bits": float(MEGABYTE),  # 1 MB staged image
+    "heartbeat_interval_s": 10.0,
+    "maintenance_interval_s": 60.0,
+    "dve_poll_interval_s": 15.0,
+    "seed": 1,
+    "kernel_tick_s": 1.0,
+    "kernel_horizon_s": 30.0,
+    "gc": "disabled during measured section",
+}
+
+
+class _gc_paused:
+    """Disable collection for the timed section; restore on exit."""
+
+    def __enter__(self):
+        self._was_enabled = gc.isenabled()
+        gc.disable()
+        return self
+
+    def __exit__(self, *exc):
+        if self._was_enabled:
+            gc.enable()
+        return False
+
+
+def run_scenario(n_nodes: int, *, seed: Optional[int] = None,
+                 sample_interval_s: float = 5.0) -> Dict[str, float]:
+    """One wakeup+heartbeat+BoT cycle at ``n_nodes`` PNAs; returns metrics."""
+    from repro.core import OddCISystem
+    from repro.workloads import uniform_bag
+
+    cfg = SCENARIO
+    with _gc_paused():
+        t0 = time.perf_counter()
+        system = OddCISystem(
+            seed=cfg["seed"] if seed is None else seed,
+            maintenance_interval_s=cfg["maintenance_interval_s"])
+        system.add_pnas(n_nodes,
+                        heartbeat_interval_s=cfg["heartbeat_interval_s"],
+                        dve_poll_interval_s=cfg["dve_poll_interval_s"])
+        build_wall_s = time.perf_counter() - t0
+
+        sim = system.sim
+        peak = {"heap": 0}
+
+        def sample() -> None:
+            heap_len = len(sim._heap)
+            if heap_len > peak["heap"]:
+                peak["heap"] = heap_len
+            sim.schedule(sample_interval_s, sample)
+
+        sim.schedule(0.0, sample)
+
+        job = uniform_bag(n_nodes * cfg["tasks_per_node"],
+                          image_bits=cfg["image_bits"],
+                          input_bits=cfg["input_bits"],
+                          ref_seconds=cfg["ref_seconds"],
+                          result_bits=cfg["result_bits"])
+        t1 = time.perf_counter()
+        submission = system.provider.submit_job(
+            job, target_size=n_nodes,
+            heartbeat_interval_s=cfg["heartbeat_interval_s"])
+        report = system.provider.run_job_to_completion(submission, limit_s=1e7)
+        run_wall_s = time.perf_counter() - t1
+
+    events = sim.events_executed
+    return {
+        "n_nodes": n_nodes,
+        "events": events,
+        "events_per_sec": events / run_wall_s if run_wall_s > 0 else 0.0,
+        "peak_heap": peak["heap"],
+        "build_wall_s": round(build_wall_s, 4),
+        "run_wall_s": round(run_wall_s, 4),
+        "wall_s": round(build_wall_s + run_wall_s, 4),
+        "makespan": report.makespan,
+        "sim_time": sim.now,
+        "n_tasks": report.n_tasks,
+        "distinct_workers": report.distinct_workers,
+    }
+
+
+def run_kernel_scenario(n_timers: int, *,
+                        horizon_s: Optional[float] = None
+                        ) -> Dict[str, float]:
+    """Raw kernel churn: ``n_timers`` self-rescheduling callbacks.
+
+    Every build executes the *same* number of events (timers fire once
+    per tick until the horizon), so the events/sec ratio between two
+    builds is a clean kernel-speed comparison.  A small per-timer phase
+    stagger keeps the calendar from degenerating into one giant
+    same-time bucket.
+    """
+    from repro.sim.core import Simulator
+
+    tick = SCENARIO["kernel_tick_s"]
+    horizon = SCENARIO["kernel_horizon_s"] if horizon_s is None else horizon_s
+    sim = Simulator(seed=1)
+    # Feature-detect the fast path so the same harness can measure
+    # builds that predate Simulator.schedule_fast.
+    schedule = getattr(sim, "schedule_fast", None) or sim.schedule
+
+    def timer(i: int) -> None:
+        schedule(tick, timer, i)
+
+    for i in range(n_timers):
+        schedule(tick + (i % 97) * 1e-6, timer, i)
+    with _gc_paused():
+        t0 = time.perf_counter()
+        sim.run(until=horizon)
+        wall_s = time.perf_counter() - t0
+    events = sim.events_executed
+    return {
+        "n_timers": n_timers,
+        "horizon_s": horizon,
+        "events": events,
+        "events_per_sec": events / wall_s if wall_s > 0 else 0.0,
+        "wall_s": round(wall_s, 4),
+    }
+
+
+def run_scales(scales: List[int],
+               kernel_scales: Optional[List[int]] = None,
+               *, verbose: bool = True) -> Dict[str, dict]:
+    """Run both families; returns ``{"oddci": {...}, "kernel": {...}}``."""
+    oddci: Dict[str, dict] = {}
+    for n in scales:
+        metrics = run_scenario(int(n))
+        oddci[str(n)] = metrics
+        if verbose:
+            print(f"  oddci  n={n:>7}  events={metrics['events']:>10}  "
+                  f"{metrics['events_per_sec']:>10.0f} ev/s  "
+                  f"peak_heap={metrics['peak_heap']:>8}  "
+                  f"wall={metrics['wall_s']:.2f}s  "
+                  f"makespan={metrics['makespan']:.3f}")
+    kernel: Dict[str, dict] = {}
+    for n in (KERNEL_SCALES if kernel_scales is None else kernel_scales):
+        metrics = run_kernel_scenario(int(n))
+        kernel[str(n)] = metrics
+        if verbose:
+            print(f"  kernel n={n:>7}  events={metrics['events']:>10}  "
+                  f"{metrics['events_per_sec']:>10.0f} ev/s  "
+                  f"wall={metrics['wall_s']:.2f}s")
+    return {"oddci": oddci, "kernel": kernel}
+
+
+def write_report(path: str, results: Dict[str, dict],
+                 label: str, merge_into: Optional[str] = None) -> dict:
+    """Write ``results`` under key ``label`` ("before"/"after").
+
+    ``merge_into`` — path of an existing report whose other labels are
+    preserved (so an "after" run keeps the recorded "before" numbers).
+    """
+    doc = {
+        "benchmark": "event_tier",
+        "scenario": dict(SCENARIO),
+        "python": platform.python_version(),
+    }
+    if merge_into:
+        try:
+            with open(merge_into) as fh:
+                old = json.load(fh)
+            for key in ("before", "after", "notes"):
+                if key in old:
+                    doc[key] = old[key]
+        except (OSError, ValueError):
+            pass
+    doc[label] = results
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Event-tier perf scenarios (see DESIGN.md §8)")
+    parser.add_argument("--scales", type=int, nargs="+",
+                        default=list(DEFAULT_SCALES),
+                        help="oddci-family fleet sizes")
+    parser.add_argument("--kernel-scales", type=int, nargs="+",
+                        default=list(KERNEL_SCALES),
+                        help="kernel-family timer counts")
+    parser.add_argument("--out", type=str, default="BENCH_event_tier.json")
+    parser.add_argument("--label", type=str, default="after",
+                        choices=("before", "after"))
+    args = parser.parse_args(argv)
+    print(f"event-tier perf bench — oddci {args.scales}, "
+          f"kernel {args.kernel_scales} ({args.label})")
+    results = run_scales(args.scales, args.kernel_scales)
+    write_report(args.out, results, args.label, merge_into=args.out)
+    print(f"[written to {args.out}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -7,6 +7,7 @@ Public surface:
 * :class:`~repro.sim.process.Process` / :class:`~repro.sim.process.Interrupt`
   — generator-based processes.
 * :class:`~repro.sim.resources.Resource` / ``Store`` / ``Container``.
+* :class:`~repro.sim.wheel.TimerWheel` — shared slotted periodic timers.
 * Monitors: ``TimeSeries``, ``Tally``, ``Counter``.
 """
 
@@ -22,8 +23,10 @@ from repro.sim.monitor import Counter, Tally, TimeSeries, summary
 from repro.sim.process import Interrupt, Process
 from repro.sim.resources import Container, Resource, Store
 from repro.sim.rng import derive_generator, derive_seed
+from repro.sim.wheel import TimerWheel
 
 __all__ = [
+    "TimerWheel",
     "Simulator",
     "Event",
     "EventHandle",

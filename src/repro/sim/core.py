@@ -1,14 +1,30 @@
 """Discrete-event simulation kernel.
 
 The :class:`Simulator` owns a simulated clock and a binary-heap event
-calendar.  Events are ``(time, priority, seq, callback)`` tuples; ties on
-time are broken first by an explicit integer priority (lower runs first)
-and then by insertion order, which makes runs fully deterministic.
+calendar.  Heap entries are plain tuples; ties on time are broken first
+by an explicit integer priority (lower runs first) and then by insertion
+order, which makes runs fully deterministic.
+
+Two scheduling paths share the calendar:
+
+* the **fast path** — :meth:`Simulator.schedule_fast` /
+  :meth:`Simulator.call_at` push a 5-tuple ``(time, priority, seq,
+  callback, args)`` and return nothing.  Internal layers (event
+  settling, processes, links, broadcast) use it: no handle object is
+  ever allocated for the ~99% of events nobody cancels.
+* the **handle path** — :meth:`Simulator.schedule` /
+  :meth:`Simulator.schedule_at` push a 4-tuple ``(time, priority, seq,
+  handle)`` and return a cancellable :class:`EventHandle`.
+
+The sequence number is unique per entry, so tuple comparison never
+reaches the payload element and the two entry shapes can share one heap.
+Cancellation is lazy: cancelled entries stay in the heap and are
+discarded when popped; a live-entry counter keeps
+:attr:`Simulator.queued_events` O(1).
 
 Two programming styles are supported on top of this kernel:
 
-* plain callbacks scheduled with :meth:`Simulator.schedule` /
-  :meth:`Simulator.schedule_at`;
+* plain callbacks scheduled with the methods above;
 * generator-based processes (see :mod:`repro.sim.process`) that ``yield``
   timeouts, events and other processes.
 
@@ -18,13 +34,11 @@ carousel, DTV and OddCI layers are all built on these primitives.
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import math
-from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Any, Callable, Iterable, Optional
 
-from repro.errors import CancelledError, SchedulingError, SimulationError
+from repro.errors import SchedulingError, SimulationError
 
 __all__ = [
     "EventHandle",
@@ -42,15 +56,7 @@ PRIORITY_NORMAL = 10
 #: Priority for events that should observe all same-time activity.
 PRIORITY_LATE = 20
 
-
-@dataclass(order=True)
-class _Entry:
-    """Internal heap entry; ordering fields first, payload excluded."""
-
-    time: float
-    priority: int
-    seq: int
-    handle: "EventHandle" = field(compare=False)
+_INF = math.inf
 
 
 class EventHandle:
@@ -61,12 +67,15 @@ class EventHandle:
     executed or cancelled handle is a no-op.
     """
 
-    __slots__ = ("time", "callback", "args", "_cancelled", "_executed")
+    __slots__ = ("time", "callback", "args", "_sim", "_cancelled",
+                 "_executed")
 
-    def __init__(self, time: float, callback: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, callback: Callable[..., Any],
+                 args: tuple, sim: Optional["Simulator"] = None):
         self.time = time
         self.callback = callback
         self.args = args
+        self._sim = sim
         self._cancelled = False
         self._executed = False
 
@@ -84,8 +93,12 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the callback from running (idempotent)."""
-        if not self._executed:
+        if not (self._executed or self._cancelled):
             self._cancelled = True
+            # The heap entry is discarded lazily; account for it now so
+            # queued_events stays exact without scanning.
+            if self._sim is not None:
+                self._sim._live -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = (
@@ -111,7 +124,9 @@ class Event:
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
         self.name = name
-        self._callbacks: list[Callable[["Event"], None]] = []
+        # Lazily allocated: most events get zero or one callback, so the
+        # list is only created on the second registration.
+        self._callbacks: Any = None
         self._ok: bool = True
         self._value: Any = None
         self._settled = False
@@ -153,9 +168,16 @@ class Event:
         self._settled = True
         self._ok = ok
         self._value = value
-        callbacks, self._callbacks = self._callbacks, []
-        for cb in callbacks:
-            self.sim.schedule(0.0, cb, self, priority=PRIORITY_URGENT)
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks is not None:
+            sim = self.sim
+            if callbacks.__class__ is list:
+                for cb in callbacks:
+                    sim.schedule_fast(0.0, cb, self,
+                                      priority=PRIORITY_URGENT)
+            else:
+                sim.schedule_fast(0.0, callbacks, self,
+                                  priority=PRIORITY_URGENT)
 
     # -- waiting -------------------------------------------------------
     def add_callback(self, cb: Callable[["Event"], None]) -> None:
@@ -166,9 +188,15 @@ class Event:
         re-entrancy out of user code.
         """
         if self._settled:
-            self.sim.schedule(0.0, cb, self, priority=PRIORITY_URGENT)
+            self.sim.schedule_fast(0.0, cb, self, priority=PRIORITY_URGENT)
+            return
+        callbacks = self._callbacks
+        if callbacks is None:
+            self._callbacks = cb  # single-callback fast path: no list
+        elif callbacks.__class__ is list:
+            callbacks.append(cb)
         else:
-            self._callbacks.append(cb)
+            self._callbacks = [callbacks, cb]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "settled" if self._settled else "pending"
@@ -186,7 +214,8 @@ class Simulator:
         Master seed for the named RNG streams (see :meth:`rng`).
     trace:
         Optional callable invoked as ``trace(time, callback, args)``
-        before each event executes — useful for debugging.
+        before each event executes — useful for debugging and for the
+        determinism golden tests.
     """
 
     def __init__(
@@ -199,8 +228,11 @@ class Simulator:
         if not math.isfinite(start_time):
             raise SchedulingError("start_time must be finite")
         self._now = float(start_time)
-        self._heap: list[_Entry] = []
-        self._seq = itertools.count()
+        #: heap of (time, priority, seq, callback, args) fast entries
+        #: and (time, priority, seq, EventHandle) cancellable entries.
+        self._heap: list[tuple] = []
+        self._seq = 0
+        self._live = 0
         self._running = False
         self._stopped = False
         self._events_executed = 0
@@ -221,8 +253,13 @@ class Simulator:
 
     @property
     def queued_events(self) -> int:
-        """Number of pending (non-cancelled) entries in the calendar."""
-        return sum(1 for e in self._heap if e.handle.pending)
+        """Number of pending (non-cancelled) entries in the calendar.
+
+        O(1): maintained as a live-entry counter (pushes increment it,
+        executions and cancellations decrement it; lazy removal of
+        cancelled entries does not touch it).
+        """
+        return self._live
 
     # -- scheduling ------------------------------------------------------
     def schedule(
@@ -245,16 +282,62 @@ class Simulator:
         *args: Any,
         priority: int = PRIORITY_NORMAL,
     ) -> EventHandle:
-        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        """Schedule ``callback(*args)`` at absolute simulated ``time``.
+
+        Returns a cancellable :class:`EventHandle`.  Internal layers that
+        never cancel should prefer :meth:`schedule_fast` / :meth:`call_at`.
+        """
         if time < self._now or not math.isfinite(time):
             raise SchedulingError(
                 f"cannot schedule at t={time!r} (now={self._now!r})")
         if not callable(callback):
             raise TypeError(f"callback must be callable, got {callback!r}")
-        handle = EventHandle(time, callback, args)
-        heapq.heappush(
-            self._heap, _Entry(time, priority, next(self._seq), handle))
+        handle = EventHandle(time, callback, args, self)
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        heappush(self._heap, (time, priority, seq, handle))
         return handle
+
+    def schedule_fast(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Fast-path scheduling: no :class:`EventHandle` is allocated.
+
+        Semantics are identical to :meth:`schedule` except that the
+        entry cannot be cancelled.  This is the hot path used by event
+        settling, process resumption and the network layers.
+        """
+        time = self._now + delay
+        if not (delay >= 0.0) or time == _INF:
+            raise SchedulingError(f"invalid delay {delay!r}")
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        heappush(self._heap, (time, priority, seq, callback, args))
+
+    #: Alias — reads naturally at call sites (`sim.call_later(3, cb)`).
+    call_later = schedule_fast
+
+    def call_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Absolute-time fast-path scheduling (no handle, no cancel)."""
+        if not (time >= self._now) or time == _INF:
+            raise SchedulingError(
+                f"cannot schedule at t={time!r} (now={self._now!r})")
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        heappush(self._heap, (time, priority, seq, callback, args))
 
     def event(self, name: str = "") -> Event:
         """Create a fresh :class:`Event` bound to this simulator."""
@@ -266,17 +349,25 @@ class Simulator:
 
         Returns ``False`` when the calendar is empty, ``True`` otherwise.
         """
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            handle = entry.handle
-            if handle.cancelled:
-                continue
-            self._now = entry.time
-            handle._executed = True
-            if self.trace is not None:
-                self.trace(self._now, handle.callback, handle.args)
+        heap = self._heap
+        while heap:
+            entry = heappop(heap)
+            if len(entry) == 5:
+                callback = entry[3]
+                args = entry[4]
+            else:
+                handle = entry[3]
+                if handle._cancelled:
+                    continue
+                handle._executed = True
+                callback = handle.callback
+                args = handle.args
+            self._now = entry[0]
+            self._live -= 1
             self._events_executed += 1
-            handle.callback(*handle.args)
+            if self.trace is not None:
+                self.trace(self._now, callback, args)
+            callback(*args)
             return True
         return False
 
@@ -293,14 +384,32 @@ class Simulator:
                 f"cannot run until t={until!r} (now={self._now!r})")
         self._running = True
         self._stopped = False
+        heap = self._heap
         try:
-            while self._heap and not self._stopped:
-                next_time = self._peek_time()
-                if next_time is None:
+            # Inlined pop loop — the kernel's hottest few lines.
+            while heap and not self._stopped:
+                entry = heap[0]
+                if len(entry) == 4 and entry[3]._cancelled:
+                    heappop(heap)
+                    continue
+                time = entry[0]
+                if until is not None and time > until:
                     break
-                if until is not None and next_time > until:
-                    break
-                self.step()
+                heappop(heap)
+                if len(entry) == 5:
+                    callback = entry[3]
+                    args = entry[4]
+                else:
+                    handle = entry[3]
+                    handle._executed = True
+                    callback = handle.callback
+                    args = handle.args
+                self._now = time
+                self._live -= 1
+                self._events_executed += 1
+                if self.trace is not None:
+                    self.trace(time, callback, args)
+                callback(*args)
             if until is not None and not self._stopped and self._now < until:
                 self._now = until
         finally:
@@ -313,11 +422,32 @@ class Simulator:
         ``limit`` bounds the simulated time; exceeding it raises
         :class:`SimulationError` so a wedged protocol does not spin forever.
         """
-        while not event.triggered:
-            if not self.step():
-                raise SimulationError(
-                    f"calendar drained before event {event.name!r} settled")
-            if self._now > limit:
+        heap = self._heap
+        while not event._settled:
+            # Inlined step() — provider-driven runs spend their time here.
+            while True:
+                if not heap:
+                    raise SimulationError(
+                        f"calendar drained before event {event.name!r} "
+                        "settled")
+                entry = heappop(heap)
+                if len(entry) == 5:
+                    callback = entry[3]
+                    args = entry[4]
+                    break
+                handle = entry[3]
+                if not handle._cancelled:
+                    handle._executed = True
+                    callback = handle.callback
+                    args = handle.args
+                    break
+            self._now = time = entry[0]
+            self._live -= 1
+            self._events_executed += 1
+            if self.trace is not None:
+                self.trace(time, callback, args)
+            callback(*args)
+            if time > limit:
                 raise SimulationError(
                     f"time limit {limit} exceeded waiting for {event.name!r}")
         if not event.ok:
@@ -329,10 +459,12 @@ class Simulator:
         self._stopped = True
 
     def _peek_time(self) -> Optional[float]:
-        while self._heap:
-            if self._heap[0].handle.pending:
-                return self._heap[0].time
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if len(entry) == 5 or not entry[3]._cancelled:
+                return entry[0]
+            heappop(heap)
         return None
 
     # -- processes (provided by repro.sim.process, bound here) ----------
@@ -344,8 +476,8 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> Event:
         """An event that succeeds after ``delay`` simulated seconds."""
-        ev = self.event(name=f"timeout({delay:g})")
-        self.schedule(delay, ev.succeed, value)
+        ev = Event(self, "timeout")
+        self.schedule_fast(delay, ev.succeed, value)
         return ev
 
     def all_of(self, events: Iterable[Event]) -> Event:
@@ -357,7 +489,7 @@ class Simulator:
         events = list(events)
         combined = self.event(name="all_of")
         if not events:
-            self.schedule(0.0, combined.succeed, [])
+            self.schedule_fast(0.0, combined.succeed, [])
             return combined
         remaining = {"n": len(events)}
 
@@ -373,6 +505,36 @@ class Simulator:
 
         for ev in events:
             ev.add_callback(_on_settle)
+        return combined
+
+    def race_timeout(self, event: Event, delay: float) -> Event:
+        """Event that settles when ``event`` does or ``delay`` elapses.
+
+        Equivalent to ``any_of([event, timeout(delay)])`` but built for
+        the retry-guard idiom: the deadline is a cancellable calendar
+        entry that is cancelled the moment ``event`` wins, so tight
+        request/retry loops do not accumulate live timeout events (the
+        combined event's value is ``event``'s value if it won, ``None``
+        if the deadline fired first; a failing ``event`` fails the race).
+        """
+        combined = Event(self, "race_timeout")
+
+        def _deadline() -> None:
+            if not combined._settled:
+                combined.succeed(None)
+
+        handle = self.schedule(delay, _deadline)
+
+        def _on_settle(ev: Event) -> None:
+            if combined._settled:
+                return
+            handle.cancel()
+            if ev._ok:
+                combined.succeed(ev._value)
+            else:
+                combined.fail(ev._value)
+
+        event.add_callback(_on_settle)
         return combined
 
     def any_of(self, events: Iterable[Event]) -> Event:
@@ -410,5 +572,5 @@ class Simulator:
         return gen
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return (f"<Simulator t={self._now:.6g} queued={len(self._heap)} "
+        return (f"<Simulator t={self._now:.6g} queued={self._live} "
                 f"executed={self._events_executed}>")

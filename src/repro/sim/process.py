@@ -7,6 +7,11 @@ it may yield:
 * an :class:`~repro.sim.core.Event` — suspend until it settles (the
   ``yield`` expression evaluates to the event's value; a failed event
   raises its exception inside the generator);
+* a ``(event, max_wait_s)`` tuple — suspend until the event settles or
+  the deadline elapses, whichever is first (the deadline case resumes
+  with ``None``; check ``event.triggered`` to tell them apart).  This is
+  the cheap form of ``sim.race_timeout`` for retry guards: no combined
+  event or cancellable handle is allocated, just one calendar entry;
 * another :class:`Process` — join it (value/exception semantics as above);
 * ``None`` — yield control for zero simulated time (lets same-time events
   interleave deterministically).
@@ -58,7 +63,8 @@ class Process(Event):
     ``StopIteration`` value on success, the exception on failure.
     """
 
-    __slots__ = ("_gen", "_waiting_on", "_started", "name_")
+    __slots__ = ("_gen", "_waiting_on", "_started", "_timer_seq",
+                 "_deadline_at", "_deadline_entry_at", "name_")
 
     def __init__(self, sim: Simulator, generator: Generator,
                  name: str = ""):
@@ -71,10 +77,18 @@ class Process(Event):
         self._gen = generator
         self._waiting_on: Optional[Event] = None
         self._started = False
+        self._timer_seq = 0
+        # Deadline coalescing for (event, max_wait_s) waits: the wanted
+        # timeout of the *current* wait, and the fire time of the single
+        # in-heap entry backing it.  A long-lived process with many
+        # deadline-guarded waits keeps at most ~one calendar entry alive
+        # instead of one per wait (see _deadline_fire).
+        self._deadline_at: Optional[float] = None
+        self._deadline_entry_at: Optional[float] = None
         # Start on the next event-loop tick at the current time so the
         # creator finishes its own step first (deterministic ordering).
-        sim.schedule(0.0, self._resume, None, None,
-                     priority=PRIORITY_NORMAL)
+        sim.schedule_fast(0.0, self._resume, None,
+                          priority=PRIORITY_NORMAL)
 
     # -- public API ------------------------------------------------------
     @property
@@ -91,27 +105,38 @@ class Process(Event):
         """
         if self.triggered:
             raise ProcessError(f"cannot interrupt finished process {self.name!r}")
-        self.sim.schedule(0.0, self._do_interrupt, cause)
+        self.sim.schedule_fast(0.0, self._do_interrupt, cause)
 
     def _do_interrupt(self, cause: Any) -> None:
         if self.triggered:
             return  # finished in the meantime at the same timestamp
         self._waiting_on = None
+        self._timer_seq += 1  # invalidate any outstanding sleep timer
+        self._deadline_at = None  # and any pending wait deadline
         self._step_throw(Interrupt(cause))
 
     # -- driving the generator -------------------------------------------
-    def _resume(self, event: Optional[Event], _token: Any) -> None:
-        """Advance the generator with the settled event's value."""
+    def _resume(self, event: Optional[Event]) -> None:
+        """Advance the generator with the settled event's value.
+
+        Registered directly as the waited event's callback (no closure
+        per wait).
+        """
         if self.triggered:
             return
-        if event is not None and self._waiting_on is not event:
-            return  # stale wakeup: we were interrupted while waiting
-        self._waiting_on = None
-        if event is not None and not event.ok:
-            self._step_throw(event.value)
+        if event is not None:
+            if self._waiting_on is not event:
+                return  # stale wakeup: we were interrupted while waiting
+            self._waiting_on = None
+            # An event-with-deadline wait's timeout is moot now that the
+            # event won; its in-heap entry (if any) dies lazily.
+            self._deadline_at = None
+            if not event._ok:
+                self._step_throw(event._value)
+                return
+            self._step_send(event._value)
             return
-        value = event.value if event is not None else None
-        self._step_send(value)
+        self._step_send(None)
 
     def _step_send(self, value: Any) -> None:
         try:
@@ -137,19 +162,81 @@ class Process(Event):
 
     def _handle_yield(self, target: Any) -> None:
         sim = self.sim
-        if target is None:
-            ev = sim.timeout(0.0)
-        elif isinstance(target, Event):
-            ev = target
-        elif isinstance(target, (int, float)):
-            if target < 0:
+        if type(target) is tuple:
+            # (event, max_wait_s): wait with a deadline.  One fast
+            # calendar entry, stale-guarded by the timer token — no
+            # combined Event, no cancellable handle.
+            try:
+                event, deadline = target
+            except ValueError:
                 self._step_throw(ProcessError(
-                    f"process yielded negative delay {target!r}"))
+                    f"process yielded unsupported value {target!r}"))
                 return
-            ev = sim.timeout(float(target))
-        else:
+            if not isinstance(event, Event) or not isinstance(
+                    deadline, (int, float)) or deadline < 0:
+                self._step_throw(ProcessError(
+                    f"process yielded unsupported value {target!r}"))
+                return
+            self._waiting_on = event
+            event.add_callback(self._resume)
+            fire_at = sim.now + float(deadline)
+            self._deadline_at = fire_at
+            entry_at = self._deadline_entry_at
+            if entry_at is None or entry_at > fire_at:
+                # No usable entry in the heap: arm one.  An entry that
+                # fires *earlier* than needed is reused — _deadline_fire
+                # re-chains it to the wanted time.
+                sim.call_at(fire_at, self._deadline_fire)
+                self._deadline_entry_at = fire_at
+            return
+        if isinstance(target, Event):
+            self._waiting_on = target
+            target.add_callback(self._resume)
+            return
+        if target is None:
+            target = 0.0
+        elif not isinstance(target, (int, float)):
             self._step_throw(ProcessError(
                 f"process yielded unsupported value {target!r}"))
             return
-        self._waiting_on = ev
-        ev.add_callback(lambda e: self._resume(e, None))
+        elif target < 0:
+            self._step_throw(ProcessError(
+                f"process yielded negative delay {target!r}"))
+            return
+        # Numeric sleep fast path: resume directly from the calendar,
+        # skipping the intermediate timeout Event.  Ordering is
+        # preserved: the old path's urgent resume always ran immediately
+        # after its normal-priority succeed (no other entry can sort
+        # between them), so a normal-priority direct resume in the
+        # timeout's own seq position executes at the identical point.
+        token = self._timer_seq + 1
+        self._timer_seq = token
+        sim.schedule_fast(float(target), self._timer_resume, token)
+
+    def _timer_resume(self, token: int) -> None:
+        if self.triggered or token != self._timer_seq:
+            return  # interrupted (or finished) while sleeping
+        self._step_send(None)
+
+    def _deadline_fire(self) -> None:
+        """The in-heap deadline entry for this process came due.
+
+        Three cases: no wait is pending (the guarded event won, or the
+        process moved on) — the entry just dies; the current wait wants a
+        *later* deadline (the entry was reused by a subsequent wait) —
+        chain-push one entry at the wanted time; the wanted deadline is
+        now — the wait times out and the process resumes with ``None``.
+        """
+        self._deadline_entry_at = None
+        if self.triggered:
+            return
+        want = self._deadline_at
+        if want is None:
+            return  # event won; nothing is waiting on a deadline
+        if self.sim.now < want:
+            self.sim.call_at(want, self._deadline_fire)
+            self._deadline_entry_at = want
+            return
+        self._deadline_at = None
+        self._waiting_on = None  # detach; a late settle is now stale
+        self._step_send(None)

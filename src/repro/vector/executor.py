@@ -152,19 +152,40 @@ def makespan_heap(
     if np.any(durations <= 0):
         raise AnalysisError("task durations must be > 0")
 
-    heap = [(float(t), i) for i, t in enumerate(ready)]
+    # Hoist numpy out of the hot loop: native-float lists iterate ~5x
+    # faster than ndarray element access, and the heap then holds plain
+    # (float, int) tuples.
+    ready_list = ready.tolist()
+    dur_list = durations.tolist()
+    n_nodes = len(ready_list)
+
+    if durations.size <= n_nodes and ready.min() == ready.max():
+        # Uniform-ready shortcut: with every node free at the same
+        # instant and no more tasks than nodes, greedy pull hands task j
+        # to node j — no heap needed.
+        start = ready_list[0]
+        return ExecutionOutcome(
+            finish_time=start + max(dur_list),
+            n_tasks=int(durations.size),
+            n_nodes=n_nodes,
+            tasks_per_node_max=1,
+        )
+
+    heap = [(t, i) for i, t in enumerate(ready_list)]
     heapq.heapify(heap)
-    counts = np.zeros(ready.size, dtype=np.int64)
-    finish = float(ready.min())
-    for dur in durations:
-        available, idx = heapq.heappop(heap)
-        done = available + float(dur)
+    heappop, heappush = heapq.heappop, heapq.heappush
+    counts = [0] * n_nodes
+    finish = min(ready_list)
+    for dur in dur_list:
+        available, idx = heappop(heap)
+        done = available + dur
         counts[idx] += 1
-        finish = max(finish, done)
-        heapq.heappush(heap, (done, idx))
+        if done > finish:
+            finish = done
+        heappush(heap, (done, idx))
     return ExecutionOutcome(
         finish_time=finish,
         n_tasks=int(durations.size),
-        n_nodes=int(ready.size),
-        tasks_per_node_max=int(counts.max()),
+        n_nodes=n_nodes,
+        tasks_per_node_max=max(counts),
     )

@@ -1,0 +1,101 @@
+"""Heartbeat cohort batching must be transparent to every observer.
+
+PNAs sharing a (controller, interval, phase) key beat through one
+shared :class:`~repro.sim.wheel.TimerWheel` tick and one batched router
+delivery per arrival instant — but controllers, aggregators and legacy
+per-message components must see exactly what per-PNA timers produced.
+"""
+
+import pytest
+
+from repro.core import OddCISystem, PNAState
+from repro.core.messages import HeartbeatPayload
+from repro.net.message import Message
+from repro.workloads import uniform_bag
+
+
+def build_system(n_pnas=10, heartbeat_interval_s=20.0):
+    system = OddCISystem(beta_bps=1_000_000.0, delta_bps=150_000.0,
+                         maintenance_interval_s=1e6, seed=7)
+    system.add_pnas(n_pnas, heartbeat_interval_s=heartbeat_interval_s,
+                    dve_poll_interval_s=5.0)
+    return system
+
+
+def test_controller_sees_every_heartbeat():
+    system = build_system(n_pnas=10, heartbeat_interval_s=20.0)
+    system.sim.run(until=100.5)  # slack covers uplink serialization
+    sent = sum(p.heartbeats_sent for p in system.pnas)
+    assert sent == 10 * 5  # beats at 20/40/60/80/100 for each node
+    assert system.controller.counters["heartbeats"] == sent
+
+
+def test_same_phase_pnas_share_one_cohort():
+    system = build_system(n_pnas=50)
+    cohorts = system.router._cohorts
+    assert len(cohorts) == 1
+    (cohort,) = cohorts.values()
+    assert len(cohort.members) == 50
+    # One shared wheel => a tick is one calendar entry, not fifty.
+    assert cohort.wheel.subscriber_count == 1
+
+
+def test_different_phases_get_distinct_cohorts():
+    system = OddCISystem(maintenance_interval_s=1e6, seed=1)
+    system.add_pnas(4, heartbeat_interval_s=30.0)
+
+    def late_join():
+        system.add_pnas(3, heartbeat_interval_s=30.0)
+
+    system.sim.schedule_at(10.0, late_join)
+    system.sim.run(until=11.0)
+    assert len(system.router._cohorts) == 2
+    system.sim.run(until=90.0)
+    # Every node still beats on its own private timetable.
+    for pna in system.pnas[:4]:
+        assert pna.heartbeats_sent == 3  # t = 30, 60, 90
+    for pna in system.pnas[4:]:
+        assert pna.heartbeats_sent == 2  # t = 40, 70
+
+
+def test_offline_pna_does_not_beat():
+    system = build_system(n_pnas=3, heartbeat_interval_s=10.0)
+    system.pnas[0].shutdown()
+    system.sim.run(until=35.0)
+    assert system.pnas[0].heartbeats_sent == 0
+    assert system.pnas[1].heartbeats_sent == 3
+
+
+def test_per_message_fallback_reconstructs_messages():
+    """A component with no batch/payload entry point receives classic
+    Message envelopes from the batched path, one per heartbeat."""
+    system = build_system(n_pnas=5, heartbeat_interval_s=15.0)
+    router = system.router
+    got = []
+    router.register_component("legacy-sink", got.append)
+    for pna in system.pnas:
+        pna.controller_id = "legacy-sink"
+    system.sim.run(until=16.0)
+    assert len(got) == 5
+    for msg in got:
+        assert isinstance(msg, Message)
+        assert msg.recipient == "legacy-sink"
+        assert isinstance(msg.payload, HeartbeatPayload)
+        assert msg.payload.state is PNAState.IDLE
+        assert msg.sender == msg.payload.pna_id
+
+
+def test_batched_census_matches_during_job():
+    """With a job running, the controller's busy/idle census tracks the
+    fleet exactly as with per-message heartbeats (states ride in the
+    same payloads, just delivered in batches)."""
+    system = build_system(n_pnas=8, heartbeat_interval_s=20.0)
+    job = uniform_bag(100, image_bits=1e6, ref_seconds=500.0)
+    system.provider.submit_job(job, target_size=8,
+                               heartbeat_interval_s=20.0)
+    system.sim.run(until=50.0)
+    assert system.busy_count() == 8
+    busy_in_registry = sum(
+        1 for (_seen, state, _iid) in system.controller.registry.values()
+        if state is PNAState.BUSY)
+    assert busy_in_registry == 8

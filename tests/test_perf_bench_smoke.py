@@ -1,0 +1,61 @@
+"""Tier-1 smoke test for the perf harness (tiny fleet — fast).
+
+The full-scale scenarios live behind ``pytest benchmarks/ --run-perf``;
+this just proves the harness machinery (both scenario families, report
+merging, the CLI hook) stays importable and correct.
+"""
+
+import gc
+import json
+
+from repro.perfbench import (
+    SCENARIO,
+    run_kernel_scenario,
+    run_scenario,
+    write_report,
+)
+
+
+def test_oddci_scenario_smoke():
+    metrics = run_scenario(20)
+    assert metrics["n_nodes"] == 20
+    assert metrics["n_tasks"] == 20 * SCENARIO["tasks_per_node"]
+    assert metrics["distinct_workers"] == 20
+    assert metrics["events"] > 0
+    assert metrics["makespan"] > 0
+    assert metrics["peak_heap"] > 0
+    assert gc.isenabled()  # the gc guard restored collection
+
+
+def test_kernel_scenario_smoke():
+    metrics = run_kernel_scenario(50, horizon_s=5.0)
+    # 50 timers x ~4-5 ticks inside the horizon, deterministic count.
+    assert metrics["events"] == run_kernel_scenario(50, horizon_s=5.0)["events"]
+    assert metrics["events"] >= 50 * 4
+    assert gc.isenabled()
+
+
+def test_write_report_merges_labels(tmp_path):
+    path = str(tmp_path / "bench.json")
+    write_report(path, {"oddci": {"20": {"events": 1}}, "kernel": {}},
+                 "before")
+    doc = write_report(path, {"oddci": {"20": {"events": 2}}, "kernel": {}},
+                       "after", merge_into=path)
+    assert doc["before"]["oddci"]["20"]["events"] == 1
+    assert doc["after"]["oddci"]["20"]["events"] == 2
+    with open(path) as fh:
+        on_disk = json.load(fh)
+    assert on_disk["scenario"]["seed"] == SCENARIO["seed"]
+    assert "before" in on_disk and "after" in on_disk
+
+
+def test_cli_bench_subcommand(tmp_path, capsys):
+    from repro.cli import main
+    out = str(tmp_path / "cli_bench.json")
+    rc = main(["bench", "--scales", "10", "--kernel-scales", "20",
+               "--out", out])
+    assert rc == 0
+    with open(out) as fh:
+        doc = json.load(fh)
+    assert "after" in doc
+    assert doc["after"]["oddci"]["10"]["distinct_workers"] == 10
