@@ -1,10 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick
+.PHONY: test experiments bench bench-quick
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Every registered scenario at smoke scale through the parallel runner
+# (tier-2 'experiments' marker; excluded from the default test run).
+experiments:
+	$(PYTHON) -m pytest tests/experiments/test_smoke_all.py -q \
+		--run-experiments
 
 # Full event-tier perf harness: writes BENCH_event_tier.json.
 # Wall numbers are machine-dependent — see DESIGN.md §8 for the

@@ -20,8 +20,8 @@ from repro.baselines import (
     VoluntaryComputing,
     evaluate_requirements,
 )
-from repro.experiments import render_table1, run_table1
 from repro.net.message import KILOBYTE, MEGABYTE
+from repro.runner import Runner
 from repro.workloads import uniform_bag
 
 
@@ -60,8 +60,9 @@ def main() -> None:
               f"{fleet}"))
     print()
 
-    # The requirement matrix those numbers imply (Table I).
-    print(render_table1(run_table1()))
+    # The requirement matrix those numbers imply (Table I), via the
+    # scenario registry — the same path as `python -m repro table1`.
+    print(Runner().run("table1").rendered)
     print()
     for model in models:
         reqs = evaluate_requirements(model)

@@ -2,17 +2,21 @@
 
 ``sweep`` maps a function over the cartesian product of named parameter
 lists, collecting one record per point — the backbone of the Figure 6/7
-curves and the ablation benchmarks.
+curves and the ablation benchmarks.  ``run_points`` is the underlying
+executor plumbing: it applies a function to an ordered list of keyword
+calls either in-process or on a ``ProcessPoolExecutor``, always
+returning results in submission order so parallel sweeps are
+indistinguishable from serial ones.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Sequence
 
 from repro.errors import AnalysisError
 
-__all__ = ["sweep", "grid_points"]
+__all__ = ["sweep", "grid_points", "run_points"]
 
 Record = Dict[str, Any]
 
@@ -35,19 +39,48 @@ def grid_points(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
     return [dict(zip(names, combo)) for combo in combos]
 
 
+def run_points(
+    fn: Callable[..., Any],
+    calls: Sequence[Mapping[str, Any]],
+    *,
+    jobs: int = 1,
+) -> List[Any]:
+    """Apply ``fn(**call)`` to every call mapping, preserving order.
+
+    ``jobs > 1`` fans the calls out over a process pool; results still
+    come back in submission order, so callers see identical output for
+    any worker count.  In that mode ``fn`` and every call value must be
+    picklable (module-level functions and plain data).
+    """
+    if jobs < 1:
+        raise AnalysisError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1 or len(calls) <= 1:
+        return [fn(**call) for call in calls]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(calls))) as pool:
+        futures = [pool.submit(fn, **call) for call in calls]
+        return [future.result() for future in futures]
+
+
 def sweep(
     fn: Callable[..., Mapping[str, Any]],
     grid: Mapping[str, Sequence[Any]],
+    *,
+    jobs: int = 1,
 ) -> List[Record]:
     """Run ``fn(**point)`` for every grid point.
 
     ``fn`` must return a mapping of result fields; each output record
     merges the point's parameters with the results (results win on key
-    collisions, which ``fn`` should avoid).
+    collisions, which ``fn`` should avoid).  ``jobs > 1`` evaluates the
+    points on a process pool (``fn`` must then be picklable); record
+    order always follows grid order.
     """
+    points = grid_points(grid)
+    results = run_points(fn, points, jobs=jobs)
     records: List[Record] = []
-    for point in grid_points(grid):
-        result = fn(**point)
+    for point, result in zip(points, results):
         if not isinstance(result, Mapping):
             raise AnalysisError(
                 f"sweep function must return a mapping, got {type(result)}")

@@ -226,10 +226,19 @@ class ObjectCarousel:
         # channel then costs zero calendar entries.
         self.fast_forward = bool(fast_forward)
         self._parked = False
-        self._park_origin = 0.0
-        self._park_cycle = 0.0
+        self._park_index = 0
         self._park_epoch = 0
         self._wake: Optional[Event] = None
+        # Cycle grid: every repetition of the current content epoch
+        # starts at ``_epoch_anchor + k * _cycle_time``.  The live loop
+        # and the fast-forward replay both derive every transmission
+        # instant from this grid with identical float arithmetic, so
+        # simulation results are bit-identical with fast_forward on or
+        # off.
+        self._epoch_anchor = 0.0
+        self._epoch_index = 0
+        self._cycle_time = 0.0
+        self._segments: List[Tuple[CarouselFile, float, float]] = []
         self._process = sim.process(self._transmit_loop())
 
     # -- content management --------------------------------------------------
@@ -239,6 +248,13 @@ class ObjectCarousel:
 
     @property
     def cycles_completed(self) -> int:
+        """Repetitions finished so far (virtual ones included).
+
+        Sampled *exactly* on a cycle boundary, a parked carousel counts
+        the cycle completing at that instant while the live loop's
+        increment runs a float ulp later — an inherent fencepost at the
+        instant itself.  At any other time the two modes agree exactly.
+        """
         if self._parked:
             return self._cycles_completed + self._virtual_cycles()
         return self._cycles_completed
@@ -332,60 +348,111 @@ class ObjectCarousel:
                 self._files[name] = file
         self._pending_updates.clear()
 
+    def _rebuild_timetable(self) -> None:
+        """Recompute the per-epoch timetable from the current content.
+
+        Accumulates offsets exactly like :class:`CarouselSchedule` so
+        the event-driven carousel matches the analytic view bit-for-bit
+        given the same anchor.
+        """
+        beta = self.channel.beta_bps
+        offset = self.section_format.cycle_control_bits() / beta
+        segments: List[Tuple[CarouselFile, float, float]] = []
+        for f in self._files.values():
+            wire = self.section_format.wire_bits(f.size_bits)
+            segments.append((f, wire, offset))
+            offset += wire / beta
+        self._segments = segments
+        self._cycle_time = offset
+
+    def _grid_time(self, index: int) -> float:
+        """Absolute start time of repetition ``index`` of this epoch."""
+        return self._epoch_anchor + index * self._cycle_time
+
     def _transmit_loop(self):
         try:
+            self._epoch_anchor = self.sim.now
+            self._epoch_index = 0
+            self._rebuild_timetable()
             while self._running:
-                self._apply_pending_updates()
-                if not self._files:
-                    raise CarouselError(
-                        f"carousel {self.name!r} emptied by updates")
+                if self._pending_updates:
+                    # Content changes apply between repetitions.  The new
+                    # epoch is anchored at the grid boundary — never at
+                    # sim.now — so parked and live loops keep identical
+                    # float arithmetic.
+                    self._epoch_anchor = self._grid_time(self._epoch_index)
+                    self._epoch_index = 0
+                    self._apply_pending_updates()
+                    if not self._files:
+                        raise CarouselError(
+                            f"carousel {self.name!r} emptied by updates")
+                    self._rebuild_timetable()
                 if (self.fast_forward and not self._pending_reads
                         and not self._pending_updates):
-                    cycle_start = yield from self._park()
+                    yield from self._park()
                     if not self._running:
                         break
-                    if not self._pending_reads:
-                        # Boundary wake: updates were queued while parked
-                        # and we are exactly on a cycle boundary — loop
-                        # around to apply them (and likely re-park).
+                    at_boundary = (self._grid_time(self._epoch_index)
+                                   >= self.sim.now - 1e-9)
+                    if not self._pending_reads or (
+                            self._pending_updates and at_boundary):
+                        # Boundary wake: updates queued while parked (or
+                        # a read landing on the boundary itself with
+                        # updates pending) — loop around to apply them
+                        # before transmitting, as the live loop would.
                         continue
-                    yield from self._replay_tail(cycle_start)
+                    yield from self._replay_tail()
                     continue
-                # Control sections (DSI/DII) open the repetition.
-                control = Message(
-                    sender=self.name, payload_bits=max(
-                        0.0, self.section_format.cycle_control_bits()
-                        - DEFAULT_HEADER_BITS),
-                    payload=("dsmcc-control", self._cycles_completed + 1))
-                yield self.channel.transmit(control)
-                for file in list(self._files.values()):
-                    tx_start = self.sim.now
-                    wire = self.section_format.wire_bits(file.size_bits)
-                    msg = Message(
-                        sender=self.name,
-                        payload_bits=max(0.0, wire - DEFAULT_HEADER_BITS),
-                        payload=("dsmcc-file", file, tx_start))
-                    yield self.channel.transmit(msg)
-                    self._complete_reads(file, tx_start)
-                self._cycles_completed += 1
+                yield from self._transmit_cycle()
         except Interrupt:
             pass
+
+    def _transmit_cycle(self):
+        """Transmit one full repetition pinned to the cycle grid."""
+        yield from self._transmit_from(self._grid_time(self._epoch_index),
+                                       None)
+        self._cycles_completed += 1
+        self._epoch_index += 1
+
+    def _transmit_from(self, cycle_start: float, woke_at: Optional[float]):
+        """Transmit the repetition starting at ``cycle_start``.
+
+        When ``woke_at`` is given (fast-forward wake mid-cycle), windows
+        that opened before it are skipped — nothing was tuned in, and a
+        read requested now could not use them anyway
+        (``wait_for_start``).  All transmission instants come from the
+        grid, so the two modes are float-for-float identical.
+        """
+        if woke_at is None or cycle_start >= woke_at - 1e-9:
+            # Control sections (DSI/DII) open the repetition.
+            control = Message(
+                sender=self.name, payload_bits=max(
+                    0.0, self.section_format.cycle_control_bits()
+                    - DEFAULT_HEADER_BITS),
+                payload=("dsmcc-control", self._cycles_completed + 1))
+            yield self.channel.transmit_at(control, cycle_start)
+        for file, wire, offset in self._segments:
+            tx_start = cycle_start + offset
+            if woke_at is not None and tx_start < woke_at - 1e-9:
+                continue
+            msg = Message(
+                sender=self.name,
+                payload_bits=max(0.0, wire - DEFAULT_HEADER_BITS),
+                payload=("dsmcc-file", file, tx_start))
+            yield self.channel.transmit_at(msg, tx_start)
+            self._complete_reads(file, tx_start)
 
     # -- fast-forward ------------------------------------------------------
     def _virtual_cycles(self) -> int:
         """Whole cycles virtually elapsed since the loop parked."""
-        return int((self.sim.now - self._park_origin)
-                   / self._park_cycle + 1e-9)
+        return int((self.sim.now - self._grid_time(self._park_index))
+                   / self._cycle_time + 1e-9)
 
     def _park(self):
-        """Suspend transmission; cycles elapse arithmetically.
-
-        Returns the absolute start time of the (virtual) cycle in
-        progress at the moment of wake-up — ``sim.now`` itself when the
-        wake lands exactly on a boundary.
-        """
-        self._park_origin = self.sim.now
-        self._park_cycle = self.schedule_snapshot(self.sim.now).cycle_time
+        """Suspend transmission; cycles elapse arithmetically on the
+        grid until a read (or a boundary wake for a queued update)
+        resumes the loop."""
+        self._park_index = self._epoch_index
         self._park_epoch += 1
         self._parked = True
         self._wake = self.sim.event(name=f"{self.name}.wake")
@@ -394,7 +461,7 @@ class ObjectCarousel:
         self._wake = None
         elapsed = self._virtual_cycles()
         self._cycles_completed += elapsed
-        return self._park_origin + elapsed * self._park_cycle
+        self._epoch_index = self._park_index + elapsed
 
     def _wake_at_boundary(self) -> None:
         """Arm a wake at the next virtual cycle boundary (update queued
@@ -402,61 +469,36 @@ class ObjectCarousel:
         loop must resume there before the cycle length changes."""
         if not self._parked:
             return
-        boundary = self._park_origin + \
-            (self._virtual_cycles() + 1) * self._park_cycle
-        self.sim.call_at(boundary, self._boundary_wake, self._park_epoch)
+        boundary = self._grid_time(
+            self._park_index + self._virtual_cycles() + 1)
+        self.sim.call_at(max(boundary, self.sim.now),
+                         self._boundary_wake, self._park_epoch)
 
     def _boundary_wake(self, epoch: int) -> None:
         if (self._parked and epoch == self._park_epoch
                 and not self._wake.triggered):
             self._wake.succeed(None)
 
-    def _replay_tail(self, cycle_start: float):
+    def _replay_tail(self):
         """Resume mid-cycle after a read woke the parked loop.
 
-        Transmits the remainder of the in-progress virtual cycle on the
-        parked timetable: each segment is pinned to its scheduled window
-        via :meth:`BroadcastChannel.reserve_until`.  Windows that opened
-        before the wake are skipped — nothing was tuned in, and a read
-        requested now could not use them anyway (``wait_for_start``).
+        Transmits the remainder of the in-progress virtual cycle —
+        the same grid arithmetic as :meth:`_transmit_cycle`, just with
+        already-elapsed windows skipped.
         """
-        beta = self.channel.beta_bps
-        woke_at = self.sim.now
-        if cycle_start >= woke_at - 1e-9:
-            self.channel.reserve_until(cycle_start)
-            control = Message(
-                sender=self.name, payload_bits=max(
-                    0.0, self.section_format.cycle_control_bits()
-                    - DEFAULT_HEADER_BITS),
-                payload=("dsmcc-control", self._cycles_completed + 1))
-            yield self.channel.transmit(control)
-        offset = self.section_format.cycle_control_bits() / beta
-        for file in list(self._files.values()):
-            wire = self.section_format.wire_bits(file.size_bits)
-            tx_start = cycle_start + offset
-            offset += wire / beta
-            if tx_start < woke_at - 1e-9:
-                continue
-            self.channel.reserve_until(tx_start)
-            msg = Message(
-                sender=self.name,
-                payload_bits=max(0.0, wire - DEFAULT_HEADER_BITS),
-                payload=("dsmcc-file", file, tx_start))
-            yield self.channel.transmit(msg)
-            self._complete_reads(file, tx_start)
-        # Hold the channel to the end of the replayed cycle even when
-        # trailing windows were skipped: the always-on loop would still
-        # be transmitting them, so the next cycle must start on the same
-        # grid, not at the wake instant.
-        self.channel.reserve_until(cycle_start + offset)
+        yield from self._transmit_from(self._grid_time(self._epoch_index),
+                                       self.sim.now)
         self._cycles_completed += 1
+        self._epoch_index += 1
 
     def _complete_reads(self, file: CarouselFile, tx_start: float) -> None:
-        still_pending: List[_PendingRead] = []
+        # The epsilon keeps a read whose request timestamp sits within a
+        # float ulp of the window start in *this* window instead of
+        # costing it a whole cycle; both transmit paths use the same
+        # tolerance, so fast-forward cannot change the outcome.
         for pending in self._pending_reads:
             if (pending.name == file.name
-                    and pending.request_time <= tx_start):
+                    and pending.request_time <= tx_start + 1e-9):
                 pending.event.succeed(file)
-            else:
-                still_pending.append(pending)
-        self._pending_reads = still_pending
+        self._pending_reads = [
+            p for p in self._pending_reads if not p.event.triggered]

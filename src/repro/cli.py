@@ -2,110 +2,31 @@
 
 Usage::
 
-    python -m repro list                 # available experiments
-    python -m repro table2               # run one, print its rendering
-    python -m repro fig6 --out fig6.txt  # also save to a file
-    python -m repro all                  # run everything
+    python -m repro list                  # available experiments
+    python -m repro table2                # run one, print its rendering
+    python -m repro fig6 --jobs 4         # fan grid points out to 4 workers
+    python -m repro fig6 --out artifacts  # persist records/rendering/meta
+    python -m repro all --smoke           # everything, reduced scale
+    python -m repro bench ...             # event-tier perf harness
 
-Each experiment id matches DESIGN.md §5.  Seeds default to 0 so output
-is reproducible; pass ``--seed`` to vary.
+Experiments are resolved from the scenario registry
+(:mod:`repro.runner`); ``python -m repro list`` prints exactly what is
+registered.  Seeds default to 0 and per-point seeds are spawned
+deterministically, so output is reproducible and ``--jobs N`` is
+byte-identical to serial execution.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, Optional, Tuple
+from typing import List, Optional
 
-from repro import experiments as exp
+from repro.errors import ScenarioError
+from repro.runner import ArtifactStore, Runner, scenario_ids
+from repro.runner.scenario import all_scenarios
 
-__all__ = ["main", "EXPERIMENTS"]
-
-Runner = Callable[[int], str]
-
-
-def _table1(seed: int) -> str:
-    return exp.render_table1(exp.run_table1())
-
-
-def _table2(seed: int) -> str:
-    return exp.render_table2(exp.run_table2(seed=seed))
-
-
-def _table3(seed: int) -> str:
-    return exp.render_table3(exp.run_table3(seed=seed))
-
-
-def _wakeup(seed: int) -> str:
-    return exp.render_wakeup(exp.run_wakeup_sweep(seed=seed))
-
-
-def _fig6(seed: int) -> str:
-    return exp.render_fig6(exp.run_fig6(seed=seed))
-
-
-def _fig7(seed: int) -> str:
-    return exp.render_fig7(exp.run_fig7(seed=seed))
-
-
-def _ablation_a1(seed: int) -> str:
-    return exp.render_ablation(
-        exp.run_carousel_composition(seed=seed),
-        "A1 — wakeup vs carousel composition")
-
-
-def _ablation_a2(seed: int) -> str:
-    return exp.render_ablation(
-        exp.run_probability_policies(seed=seed),
-        "A2 — recruitment probability policies")
-
-
-def _ablation_a3(seed: int) -> str:
-    return exp.render_ablation(
-        exp.run_heartbeat_intervals(seed=seed),
-        "A3 — heartbeat interval trade-off")
-
-
-def _ablation_a4(seed: int) -> str:
-    return exp.render_ablation(
-        exp.run_aggregation_ablation(seed=seed),
-        "A4 — heartbeat aggregation fan-out")
-
-
-def _ablation_a5(seed: int) -> str:
-    return exp.render_ablation(
-        exp.run_replication_ablation(seed=seed),
-        "A5 — tail replication")
-
-
-def _ablation_a6(seed: int) -> str:
-    return exp.render_ablation(
-        exp.run_plane_comparison(seed=seed),
-        "A6 — generic broadcast vs DSM-CC carousel control plane")
-
-
-def _scalability(seed: int) -> str:
-    return exp.render_scalability(exp.run_scalability(seed=seed))
-
-
-#: experiment id -> (description, runner)
-EXPERIMENTS: Dict[str, Tuple[str, Runner]] = {
-    "table1": ("Table I — requirements x technologies", _table1),
-    "table2": ("Table II — BLASTALL on STB vs PC", _table2),
-    "table3": ("Table III — BLASTCL3 remote (reconstructed)", _table3),
-    "wakeup": ("Section 5.1 — wakeup overhead", _wakeup),
-    "fig6": ("Figure 6 — efficiency vs phi", _fig6),
-    "fig7": ("Figure 7 — makespan vs phi", _fig7),
-    "a1": ("Ablation — carousel composition", _ablation_a1),
-    "a2": ("Ablation — probability policies", _ablation_a2),
-    "a3": ("Ablation — heartbeat intervals", _ablation_a3),
-    "a4": ("Ablation — heartbeat aggregation (footnote-3 extension)",
-           _ablation_a4),
-    "a5": ("Ablation — speculative tail replication", _ablation_a5),
-    "a6": ("Ablation — control-plane comparison (Sec. 3 vs Sec. 4)",
-           _ablation_a6),
-    "scalability": ("Requirement I — 10^3..10^6 nodes", _scalability),
-}
+__all__ = ["main", "run_experiment"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -117,24 +38,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment id, 'list', 'all', or 'bench' "
              "(event-tier perf harness)")
     parser.add_argument("--seed", type=int, default=0,
-                        help="random seed (default 0)")
-    parser.add_argument("--out", type=str, default=None,
-                        help="also write the rendering to this file")
+                        help="master seed (default 0); per-point seeds "
+                             "are spawned from it")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the parameter grid "
+                             "(default 1 = serial; output is identical "
+                             "either way)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run at the scenario's reduced smoke scale")
+    parser.add_argument("--out", type=str, default=None, metavar="DIR",
+                        help="artifact root; writes records, rendering "
+                             "and run metadata under DIR/<experiment>/")
     return parser
 
 
-def run_experiment(name: str, seed: int = 0) -> str:
+def run_experiment(name: str, seed: int = 0, *, jobs: int = 1,
+                   smoke: bool = False, out: Optional[str] = None) -> str:
     """Run one experiment by id; returns the rendered artifact."""
+    store = ArtifactStore(out) if out else None
+    runner = Runner(jobs=jobs, seed=seed, smoke=smoke, store=store)
     try:
-        _desc, runner = EXPERIMENTS[name]
-    except KeyError:
-        raise SystemExit(
-            f"unknown experiment {name!r}; try: "
-            f"{', '.join(EXPERIMENTS)} (or 'list'/'all')")
-    return runner(seed)
+        return runner.run(name).rendered
+    except ScenarioError as exc:
+        raise SystemExit(str(exc)) from None
 
 
-def main(argv: Optional[list] = None) -> int:
+def _list_experiments() -> str:
+    scenarios = all_scenarios()
+    width = max(len(s.name) for s in scenarios)
+    return "\n".join(f"{s.name:<{width}}  {s.description}"
+                     for s in scenarios)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     if argv is None:
         argv = sys.argv[1:]
@@ -144,22 +80,21 @@ def main(argv: Optional[list] = None) -> int:
         return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
-        width = max(len(k) for k in EXPERIMENTS)
-        for key, (desc, _fn) in EXPERIMENTS.items():
-            print(f"{key:<{width}}  {desc}")
+        print(_list_experiments())
         return 0
-    names = list(EXPERIMENTS) if args.experiment == "all" \
-        else [args.experiment]
-    chunks = []
+    known = scenario_ids()
+    if args.experiment != "all" and args.experiment not in known:
+        raise SystemExit(
+            f"unknown experiment {args.experiment!r}; try: "
+            f"{', '.join(known)} (or 'list'/'all')")
+    names = known if args.experiment == "all" else [args.experiment]
     for name in names:
-        text = run_experiment(name, seed=args.seed)
-        chunks.append(text)
+        text = run_experiment(name, seed=args.seed, jobs=args.jobs,
+                              smoke=args.smoke, out=args.out)
         print(text)
         print()
     if args.out:
-        with open(args.out, "w") as fh:
-            fh.write("\n\n".join(chunks) + "\n")
-        print(f"[written to {args.out}]", file=sys.stderr)
+        print(f"[artifacts written under {args.out}/]", file=sys.stderr)
     return 0
 
 

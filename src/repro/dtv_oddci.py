@@ -79,6 +79,7 @@ class CarouselControlPlane(ControlPlane):
         xlet_factory,
         pna_xlet_bits: float = bits_from_bytes(256 * 1024),
         config_bits: float = bits_from_bytes(4 * 1024),
+        fast_forward: bool = True,
     ) -> None:
         if pna_xlet_bits <= 0 or config_bits <= 0:
             raise ConfigurationError("carousel file sizes must be > 0")
@@ -93,7 +94,8 @@ class CarouselControlPlane(ControlPlane):
             CarouselFile(name=CONFIG_FILE, size_bits=float(config_bits),
                          metadata={"control": None}),
         ]
-        self.carousel = service.mount_carousel(files)
+        self.carousel = service.mount_carousel(files,
+                                               fast_forward=fast_forward)
         ait = service.ait.with_entry(AITEntry(
             app_id=PNA_APP_ID, name="oddci-pna",
             control_code=ApplicationControlCode.AUTOSTART,
@@ -229,6 +231,7 @@ class OddCIDTVSystem:
         probability_policy: Optional[ProbabilityPolicy] = None,
         maintenance_interval_s: float = 60.0,
         pna_xlet_bits: float = bits_from_bytes(256 * 1024),
+        carousel_fast_forward: bool = True,
         seed: Optional[int] = 0,
     ) -> None:
         self.sim = sim or Simulator(seed=seed)
@@ -243,7 +246,8 @@ class OddCIDTVSystem:
         self.control_plane = CarouselControlPlane(
             self.sim, self.service,
             xlet_factory=self._make_xlet,
-            pna_xlet_bits=pna_xlet_bits)
+            pna_xlet_bits=pna_xlet_bits,
+            fast_forward=carousel_fast_forward)
         self.controller = Controller(
             self.sim, self.router, self.control_plane, self.keys,
             probability_policy=probability_policy,
@@ -390,6 +394,7 @@ class MultiChannelOddCIDTVSystem:
         probability_policy: Optional[ProbabilityPolicy] = None,
         maintenance_interval_s: float = 60.0,
         pna_xlet_bits: float = bits_from_bytes(256 * 1024),
+        carousel_fast_forward: bool = True,
         seed: Optional[int] = 0,
     ) -> None:
         if n_channels <= 0:
@@ -411,7 +416,8 @@ class MultiChannelOddCIDTVSystem:
                                       data_rate_bps=beta_bps)
             planes.append(CarouselControlPlane(
                 self.sim, service, xlet_factory=self._make_xlet,
-                pna_xlet_bits=pna_xlet_bits))
+                pna_xlet_bits=pna_xlet_bits,
+                fast_forward=carousel_fast_forward))
             self.services.append(service)
         self.planes = planes
         self.control_plane = FanoutControlPlane(planes)

@@ -95,5 +95,9 @@ class AnalysisError(ReproError):
     """Errors from the analytical models / statistics helpers."""
 
 
+class ScenarioError(ReproError):
+    """Invalid scenario definition, registration or runner usage."""
+
+
 class ConfigurationError(ReproError):
     """A component received an invalid configuration value."""

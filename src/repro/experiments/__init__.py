@@ -8,49 +8,78 @@
 | W  | §5.1      | :func:`~repro.experiments.wakeup.run_wakeup_sweep` |
 | F6 | Figure 6  | :func:`~repro.experiments.fig6.run_fig6` |
 | F7 | Figure 7  | :func:`~repro.experiments.fig7.run_fig7` |
-| A1–A5 | ablations | :mod:`~repro.experiments.ablations` |
+| A1–A6 | ablations | :mod:`~repro.experiments.ablations` |
 | S  | scalability | :func:`~repro.experiments.scalability.run_scalability` |
+
+Every driver is decomposed into a *per-point* function (one grid point
+→ one result record) and registered as a
+:class:`~repro.runner.scenario.Scenario`; importing this package
+populates the global scenario registry (what
+:func:`repro.runner.load_scenarios` does).  The ``run_*`` functions
+remain as serial wrappers with the original list-returning APIs.
 
 A4 (heartbeat aggregation) and A5 (tail replication) evaluate the
 extensions this reproduction adds beyond the paper's own evaluation.
 """
 
 from repro.experiments.ablations import (
+    point_aggregation,
+    point_carousel_composition,
+    point_heartbeat_interval,
+    point_plane_comparison,
+    point_probability_policy,
+    point_replication,
+    render_ablation,
     run_aggregation_ablation,
     run_carousel_composition,
     run_heartbeat_intervals,
+    run_plane_comparison,
     run_probability_policies,
     run_replication_ablation,
-    run_plane_comparison,
-    render_ablation,
 )
-from repro.experiments.fig6 import render_fig6, run_fig6
-from repro.experiments.fig7 import render_fig7, run_fig7
-from repro.experiments.scalability import render_scalability, run_scalability
-from repro.experiments.table1 import render_table1, run_table1
+from repro.experiments.fig6 import point_fig6, render_fig6, run_fig6
+from repro.experiments.fig7 import point_fig7, render_fig7, run_fig7
+from repro.experiments.scalability import (
+    point_scalability,
+    render_scalability,
+    run_scalability,
+)
+from repro.experiments.table1 import point_table1, render_table1, run_table1
 from repro.experiments.table2 import (
     TABLE2_CONFIGS,
+    point_table2,
     render_table2,
     run_table2,
     summarize_table2,
 )
-from repro.experiments.table3 import TABLE3_CONFIGS, render_table3, run_table3
+from repro.experiments.table3 import (
+    TABLE3_CONFIGS,
+    point_table3,
+    render_table3,
+    run_table3,
+)
 from repro.experiments.wakeup import (
     event_tier_wakeup_mean,
+    point_wakeup,
     render_wakeup,
     run_wakeup_sweep,
 )
 
 __all__ = [
-    "run_table1", "render_table1",
+    "run_table1", "render_table1", "point_table1",
     "run_table2", "render_table2", "summarize_table2", "TABLE2_CONFIGS",
-    "run_table3", "render_table3", "TABLE3_CONFIGS",
+    "point_table2",
+    "run_table3", "render_table3", "TABLE3_CONFIGS", "point_table3",
     "run_wakeup_sweep", "render_wakeup", "event_tier_wakeup_mean",
-    "run_fig6", "render_fig6",
-    "run_fig7", "render_fig7",
+    "point_wakeup",
+    "run_fig6", "render_fig6", "point_fig6",
+    "run_fig7", "render_fig7", "point_fig7",
     "run_carousel_composition", "run_probability_policies",
     "run_heartbeat_intervals", "run_aggregation_ablation",
     "run_replication_ablation", "run_plane_comparison",
+    "point_carousel_composition", "point_probability_policy",
+    "point_heartbeat_interval", "point_aggregation",
+    "point_replication", "point_plane_comparison",
     "render_ablation",
-    "run_scalability", "render_scalability",
+    "run_scalability", "render_scalability", "point_scalability",
 ]

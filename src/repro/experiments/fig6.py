@@ -25,11 +25,13 @@ from repro.analysis.models import (
     p_from_phi,
 )
 from repro.analysis.report import render_series
+from repro.analysis.sweep import grid_points
 from repro.net.message import KILOBYTE, MEGABYTE
+from repro.runner.scenario import Scenario, register
 from repro.vector.population import VectorOddCI, VectorPopulation
 from repro.workloads.bot import bag_from_phi
 
-__all__ = ["PHI_GRID", "RATIOS", "run_fig6", "render_fig6"]
+__all__ = ["PHI_GRID", "RATIOS", "point_fig6", "run_fig6", "render_fig6"]
 
 #: Φ sample points (log-spaced, 10⁰ .. 10⁵).
 PHI_GRID = tuple(float(v) for v in np.logspace(0, 5, 11))
@@ -41,6 +43,28 @@ IO_BITS = float(KILOBYTE)
 PARAMS = OddCIParameters(beta_bps=1_000_000.0, delta_bps=150_000.0)
 
 
+def point_fig6(
+    ratio: int,
+    phi: float,
+    *,
+    sim_nodes: int = 200,
+    sim_ratios: tuple = (10, 100),
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Result fields for one (n/N, Φ) grid point: the Equation 2
+    efficiency, plus the vector-simulated efficiency when ``ratio`` is
+    in ``sim_ratios``."""
+    p = p_from_phi(phi, IO_BITS, PARAMS.delta_bps)
+    n_tasks = ratio * sim_nodes
+    analytic = efficiency_model(
+        image_bits=IMAGE_BITS, n_tasks=n_tasks, n_nodes=sim_nodes,
+        io_bits=IO_BITS, p_seconds=p, params=PARAMS)
+    result: Dict[str, float] = {"efficiency_analytic": analytic}
+    if ratio in sim_ratios:
+        result["efficiency_sim"] = _simulate(phi, ratio, sim_nodes, seed)
+    return result
+
+
 def run_fig6(
     *,
     sim_nodes: int = 200,
@@ -50,20 +74,12 @@ def run_fig6(
     """One record per (Φ, n/N): analytic efficiency, plus simulated
     efficiency for the ratios in ``sim_ratios``."""
     records: List[Dict[str, float]] = []
-    for ratio in RATIOS:
-        for phi in PHI_GRID:
-            p = p_from_phi(phi, IO_BITS, PARAMS.delta_bps)
-            n_tasks = ratio * sim_nodes
-            analytic = efficiency_model(
-                image_bits=IMAGE_BITS, n_tasks=n_tasks, n_nodes=sim_nodes,
-                io_bits=IO_BITS, p_seconds=p, params=PARAMS)
-            record: Dict[str, float] = {
-                "phi": phi, "ratio": ratio, "efficiency_analytic": analytic,
-            }
-            if ratio in sim_ratios:
-                record["efficiency_sim"] = _simulate(
-                    phi, ratio, sim_nodes, seed)
-            records.append(record)
+    for params in grid_points({"ratio": RATIOS, "phi": PHI_GRID}):
+        record: Dict[str, float] = dict(params)
+        record.update(point_fig6(sim_nodes=sim_nodes,
+                                 sim_ratios=sim_ratios, seed=seed,
+                                 **params))
+        records.append(record)
     return records
 
 
@@ -86,11 +102,15 @@ def _simulate(phi: float, ratio: int, n_nodes: int, seed: int) -> float:
 
 
 def render_fig6(records: List[Dict[str, float]]) -> str:
-    """ASCII rendering of the Figure 6 sweep (table + sparklines)."""
+    """ASCII rendering of the Figure 6 sweep (table + sparklines).
+
+    Ratios come from the records themselves so partial (smoke-scale)
+    sweeps render too.
+    """
     out = []
     phis = sorted({r["phi"] for r in records})
     series = {}
-    for ratio in RATIOS:
+    for ratio in sorted({r["ratio"] for r in records}):
         vals = [r["efficiency_analytic"] for r in records
                 if r["ratio"] == ratio]
         series[f"n/N={ratio}"] = vals
@@ -109,3 +129,15 @@ def render_fig6(records: List[Dict[str, float]]) -> str:
                 f"analytic={r['efficiency_analytic']:.3f} "
                 f"simulated={r['efficiency_sim']:.3f}")
     return "\n".join(out)
+
+
+register(Scenario(
+    name="fig6",
+    description="Figure 6 — efficiency vs phi",
+    point=point_fig6,
+    renderer=render_fig6,
+    grid={"ratio": RATIOS, "phi": PHI_GRID},
+    fixed={"sim_nodes": 200, "sim_ratios": (10, 100)},
+    smoke_grid={"ratio": (1, 10, 100), "phi": PHI_GRID[::5]},
+    smoke_fixed={"sim_nodes": 60, "sim_ratios": (10,)},
+))

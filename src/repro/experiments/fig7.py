@@ -21,12 +21,35 @@ from repro.analysis.models import (
     p_from_phi,
 )
 from repro.analysis.report import format_seconds, render_series
+from repro.analysis.sweep import grid_points
 from repro.experiments.fig6 import IMAGE_BITS, IO_BITS, PARAMS, PHI_GRID, RATIOS
 from repro.net.message import KILOBYTE, MEGABYTE
+from repro.runner.scenario import Scenario, register
 from repro.vector.population import VectorOddCI, VectorPopulation
 from repro.workloads.bot import bag_from_phi
 
-__all__ = ["run_fig7", "render_fig7"]
+__all__ = ["point_fig7", "run_fig7", "render_fig7"]
+
+
+def point_fig7(
+    ratio: int,
+    phi: float,
+    *,
+    sim_nodes: int = 200,
+    sim_ratios: tuple = (10, 100),
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Result fields for one (n/N, Φ) point: Equation 1 makespan, plus
+    the vector-simulated makespan for ratios in ``sim_ratios``."""
+    p = p_from_phi(phi, IO_BITS, PARAMS.delta_bps)
+    n_tasks = ratio * sim_nodes
+    analytic = makespan_model(
+        image_bits=IMAGE_BITS, n_tasks=n_tasks, n_nodes=sim_nodes,
+        io_bits=IO_BITS, p_seconds=p, params=PARAMS)
+    result: Dict[str, float] = {"makespan_analytic_s": analytic}
+    if ratio in sim_ratios:
+        result["makespan_sim_s"] = _simulate(phi, ratio, sim_nodes, seed)
+    return result
 
 
 def run_fig7(
@@ -37,20 +60,12 @@ def run_fig7(
 ) -> List[Dict[str, float]]:
     """One record per (Φ, n/N): analytic makespan (+ simulated)."""
     records: List[Dict[str, float]] = []
-    for ratio in RATIOS:
-        for phi in PHI_GRID:
-            p = p_from_phi(phi, IO_BITS, PARAMS.delta_bps)
-            n_tasks = ratio * sim_nodes
-            analytic = makespan_model(
-                image_bits=IMAGE_BITS, n_tasks=n_tasks, n_nodes=sim_nodes,
-                io_bits=IO_BITS, p_seconds=p, params=PARAMS)
-            record: Dict[str, float] = {
-                "phi": phi, "ratio": ratio, "makespan_analytic_s": analytic,
-            }
-            if ratio in sim_ratios:
-                record["makespan_sim_s"] = _simulate(
-                    phi, ratio, sim_nodes, seed)
-            records.append(record)
+    for params in grid_points({"ratio": RATIOS, "phi": PHI_GRID}):
+        record: Dict[str, float] = dict(params)
+        record.update(point_fig7(sim_nodes=sim_nodes,
+                                 sim_ratios=sim_ratios, seed=seed,
+                                 **params))
+        records.append(record)
     return records
 
 
@@ -75,7 +90,7 @@ def render_fig7(records: List[Dict[str, float]]) -> str:
     series = {
         f"n/N={ratio}": [r["makespan_analytic_s"] for r in records
                          if r["ratio"] == ratio]
-        for ratio in RATIOS
+        for ratio in sorted({r["ratio"] for r in records})
     }
     out = [render_series(
         [f"{p:.3g}" for p in phis], series, x_label="phi", log_y=True,
@@ -90,3 +105,15 @@ def render_fig7(records: List[Dict[str, float]]) -> str:
                 f"analytic={format_seconds(r['makespan_analytic_s'])} "
                 f"simulated={format_seconds(r['makespan_sim_s'])}")
     return "\n".join(out)
+
+
+register(Scenario(
+    name="fig7",
+    description="Figure 7 — makespan vs phi",
+    point=point_fig7,
+    renderer=render_fig7,
+    grid={"ratio": RATIOS, "phi": PHI_GRID},
+    fixed={"sim_nodes": 200, "sim_ratios": (10, 100)},
+    smoke_grid={"ratio": (1, 10, 100), "phi": PHI_GRID[::5]},
+    smoke_fixed={"sim_nodes": 60, "sim_ratios": (10,)},
+))

@@ -22,8 +22,10 @@ from repro.baselines import (
     VoluntaryComputing,
     evaluate_requirements,
 )
+from repro.runner.scenario import Scenario, register
 
-__all__ = ["default_models", "run_table1", "render_table1"]
+__all__ = ["default_models", "point_table1", "run_table1",
+           "render_table1"]
 
 #: Scales probed for the provisioning-detail table.
 PROBE_SCALES = (100, 10_000, 1_000_000)
@@ -59,6 +61,13 @@ def run_table1(
     return {"matrix": matrix, "details": details}
 
 
+def point_table1(*, seed: int = 0) -> Dict[str, object]:
+    """Registry point function: Table I is derived analytically from
+    the comparator models, so ``seed`` is accepted (uniform runner
+    plumbing) but has no effect."""
+    return run_table1()
+
+
 def render_table1(result: Dict[str, object]) -> str:
     """ASCII rendering: the ✓/✗ matrix followed by the measurements."""
     matrix: Dict[str, Dict[str, bool]] = result["matrix"]  # type: ignore
@@ -86,3 +95,17 @@ def render_table1(result: Dict[str, object]) -> str:
          "manual effort", "notes"],
         detail_rows, title="Provisioning measurements behind the matrix"))
     return "\n".join(out)
+
+
+def render_table1_records(records) -> str:
+    """Registry renderer: Table I is a single gridless point whose one
+    record holds the whole matrix + details structure."""
+    return render_table1(records[0])
+
+
+register(Scenario(
+    name="table1",
+    description="Table I — requirements x technologies",
+    point=point_table1,
+    renderer=render_table1_records,
+))

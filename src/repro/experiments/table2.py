@@ -26,6 +26,7 @@ import numpy as np
 from repro.analysis.report import format_seconds, render_table
 from repro.analysis.stats import ratio_with_error
 from repro.errors import AnalysisError
+from repro.runner.scenario import Scenario, register
 from repro.workloads.blast import BlastDatabase, BlastParams, search
 from repro.workloads.devices import (
     REFERENCE_STB,
@@ -33,8 +34,8 @@ from repro.workloads.devices import (
 )
 from repro.workloads.sequences import plant_homolog, random_database, random_dna
 
-__all__ = ["BlastTestConfig", "TABLE2_CONFIGS", "run_table2",
-           "render_table2"]
+__all__ = ["BlastTestConfig", "TABLE2_CONFIGS", "point_table2",
+           "run_table2", "render_table2"]
 
 #: Log-normal measurement-noise sigma (run-to-run dispersion model).
 NOISE_SIGMA = 0.04
@@ -92,6 +93,38 @@ def _per_query_ref_seconds(config: BlastTestConfig,
     return result.ref_seconds()
 
 
+def _config_record(config: BlastTestConfig,
+                   rng: np.random.Generator) -> Dict[str, float]:
+    """Measure one configuration with the given noise/workload stream."""
+    standby_factor = REFERENCE_STB.factor(PowerMode.STANDBY)
+    in_use_factor = REFERENCE_STB.factor(PowerMode.IN_USE)
+    per_query = _per_query_ref_seconds(config, rng)
+    pc = per_query * config.n_queries
+    noise = rng.lognormal(mean=0.0, sigma=NOISE_SIGMA, size=3)
+    pc_t = pc * float(noise[0])
+    standby_t = pc * standby_factor * float(noise[1])
+    in_use_t = pc * in_use_factor * float(noise[2])
+    return {
+        "category": config.category,
+        "pc_s": pc_t,
+        "stb_standby_s": standby_t,
+        "stb_in_use_s": in_use_t,
+        "in_use_over_pc": in_use_t / pc_t,
+        "in_use_over_standby": in_use_t / standby_t,
+    }
+
+
+def point_table2(test: int, *, seed: int = 0) -> Dict[str, float]:
+    """Result fields for one Table II configuration.
+
+    Unlike :func:`run_table2` (which threads one generator through all
+    twelve rows), each point owns its generator, so rows are
+    independent and safe to evaluate in any order or process.
+    """
+    config = next(c for c in TABLE2_CONFIGS if c.test_id == test)
+    return _config_record(config, np.random.default_rng(seed))
+
+
 def run_table2(seed: int = 0) -> List[Dict[str, float]]:
     """Produce the 12 Table II rows.
 
@@ -99,25 +132,11 @@ def run_table2(seed: int = 0) -> List[Dict[str, float]]:
     ratios.  Times include the seeded measurement-noise model.
     """
     rng = np.random.default_rng(seed)
-    standby_factor = REFERENCE_STB.factor(PowerMode.STANDBY)
-    in_use_factor = REFERENCE_STB.factor(PowerMode.IN_USE)
     records: List[Dict[str, float]] = []
     for config in TABLE2_CONFIGS:
-        per_query = _per_query_ref_seconds(config, rng)
-        pc = per_query * config.n_queries
-        noise = rng.lognormal(mean=0.0, sigma=NOISE_SIGMA, size=3)
-        pc_t = pc * float(noise[0])
-        standby_t = pc * standby_factor * float(noise[1])
-        in_use_t = pc * in_use_factor * float(noise[2])
-        records.append({
-            "test": config.test_id,
-            "category": config.category,
-            "pc_s": pc_t,
-            "stb_standby_s": standby_t,
-            "stb_in_use_s": in_use_t,
-            "in_use_over_pc": in_use_t / pc_t,
-            "in_use_over_standby": in_use_t / standby_t,
-        })
+        record: Dict[str, float] = {"test": config.test_id}
+        record.update(_config_record(config, rng))
+        records.append(record)
     return records
 
 
@@ -162,3 +181,13 @@ def render_table2(records: List[Dict[str, float]]) -> str:
         f"\nlargest workload on in-use STB: "
         f"{format_seconds(s['largest_in_use_s'])}   [paper: ~11 h]")
     return table + summary
+
+
+register(Scenario(
+    name="table2",
+    description="Table II — BLASTALL on STB vs PC",
+    point=point_table2,
+    renderer=render_table2,
+    grid={"test": tuple(c.test_id for c in TABLE2_CONFIGS)},
+    smoke_grid={"test": (1, 4, 10)},
+))

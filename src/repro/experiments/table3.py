@@ -25,10 +25,11 @@ import numpy as np
 from repro.analysis.report import format_seconds, render_table
 from repro.errors import AnalysisError
 from repro.net.message import KILOBYTE
+from repro.runner.scenario import Scenario, register
 from repro.workloads.devices import REFERENCE_STB, PowerMode
 
-__all__ = ["RemoteTestConfig", "TABLE3_CONFIGS", "run_table3",
-           "render_table3"]
+__all__ = ["RemoteTestConfig", "TABLE3_CONFIGS", "point_table3",
+           "run_table3", "render_table3"]
 
 #: Seeded measurement-noise sigma, as in Table II.
 NOISE_SIGMA = 0.06
@@ -72,26 +73,41 @@ def _remote_time(config: RemoteTestConfig, link_bps: float,
             + config.client_parse_ref_s * device_factor)
 
 
+def _config_record(config: RemoteTestConfig,
+                   rng: np.random.Generator) -> Dict[str, float]:
+    """Measure one remote invocation with the given noise stream."""
+    standby = REFERENCE_STB.factor(PowerMode.STANDBY)
+    in_use = REFERENCE_STB.factor(PowerMode.IN_USE)
+    noise = rng.lognormal(0.0, NOISE_SIGMA, size=3)
+    pc_t = _remote_time(config, PC_LINK_BPS, 1.0) * float(noise[0])
+    stb_standby_t = _remote_time(
+        config, STB_LINK_BPS, standby) * float(noise[1])
+    stb_in_use_t = _remote_time(
+        config, STB_LINK_BPS, in_use) * float(noise[2])
+    return {
+        "pc_s": pc_t,
+        "stb_standby_s": stb_standby_t,
+        "stb_in_use_s": stb_in_use_t,
+        "in_use_over_pc": stb_in_use_t / pc_t,
+    }
+
+
+def point_table3(test: int, *, seed: int = 0) -> Dict[str, float]:
+    """Result fields for one Table III row; each point owns its
+    generator (cf. :func:`run_table3`'s shared one), so rows are
+    order- and process-independent."""
+    config = next(c for c in TABLE3_CONFIGS if c.test_id == test)
+    return _config_record(config, np.random.default_rng(seed))
+
+
 def run_table3(seed: int = 0) -> List[Dict[str, float]]:
     """Produce the reconstructed Table III rows."""
     rng = np.random.default_rng(seed)
-    standby = REFERENCE_STB.factor(PowerMode.STANDBY)
-    in_use = REFERENCE_STB.factor(PowerMode.IN_USE)
     records: List[Dict[str, float]] = []
     for config in TABLE3_CONFIGS:
-        noise = rng.lognormal(0.0, NOISE_SIGMA, size=3)
-        pc_t = _remote_time(config, PC_LINK_BPS, 1.0) * float(noise[0])
-        stb_standby_t = _remote_time(
-            config, STB_LINK_BPS, standby) * float(noise[1])
-        stb_in_use_t = _remote_time(
-            config, STB_LINK_BPS, in_use) * float(noise[2])
-        records.append({
-            "test": config.test_id,
-            "pc_s": pc_t,
-            "stb_standby_s": stb_standby_t,
-            "stb_in_use_s": stb_in_use_t,
-            "in_use_over_pc": stb_in_use_t / pc_t,
-        })
+        record: Dict[str, float] = {"test": config.test_id}
+        record.update(_config_record(config, rng))
+        records.append(record)
     return records
 
 
@@ -112,3 +128,12 @@ def render_table3(records: List[Dict[str, float]]) -> str:
     return table + (
         f"\nmax STB/PC ratio: {worst:.2f}x — remote processing erases the "
         f"device gap (server-side compute dominates)")
+
+
+register(Scenario(
+    name="table3",
+    description="Table III — BLASTCL3 remote (reconstructed)",
+    point=point_table3,
+    renderer=render_table3,
+    grid={"test": tuple(c.test_id for c in TABLE3_CONFIGS)},
+))

@@ -21,15 +21,18 @@ import numpy as np
 
 from repro.analysis.models import wakeup_time
 from repro.analysis.report import format_seconds, render_table
+from repro.analysis.sweep import grid_points
 from repro.carousel.carousel import ObjectCarousel
 from repro.carousel.objects import CarouselFile
 from repro.carousel.reader import sample_wakeup_latencies
 from repro.net.broadcast import BroadcastChannel
 from repro.net.message import MEGABYTE, bits_from_bytes
+from repro.runner.scenario import Scenario, register
 from repro.sim.core import Simulator
 from repro.vector.population import VectorOddCI, VectorPopulation
 
-__all__ = ["run_wakeup_sweep", "event_tier_wakeup_mean", "render_wakeup"]
+__all__ = ["point_wakeup", "run_wakeup_sweep", "event_tier_wakeup_mean",
+           "render_wakeup"]
 
 IMAGE_MB = (1, 2, 4, 8, 16, 32)
 BETA_MBPS = (1.0, 5.0, 19.0)
@@ -67,6 +70,33 @@ def event_tier_wakeup_mean(
     return float(np.mean(latencies))
 
 
+def point_wakeup(
+    beta_mbps: float,
+    image_mb: float,
+    *,
+    vector_nodes: int = 100_000,
+    event_readers: int = 40,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Result fields for one (β, I) point: the three W estimates."""
+    beta = beta_mbps * 1e6
+    image_bits = image_mb * MEGABYTE
+    analytic = wakeup_time(image_bits, beta)
+    pop = VectorPopulation(vector_nodes, np.random.default_rng(seed))
+    system = VectorOddCI(pop, beta_bps=beta)
+    sched = system.carousel_schedule(image_bits)
+    sample = sample_wakeup_latencies(
+        sched, "image", vector_nodes, np.random.default_rng(seed))
+    event = event_tier_wakeup_mean(
+        image_bits, beta, n_readers=event_readers, seed=seed)
+    return {
+        "analytic_s": analytic,
+        "vector_s": sample.mean,
+        "event_s": event,
+        "vector_p99_s": sample.percentile(99),
+    }
+
+
 def run_wakeup_sweep(
     *,
     vector_nodes: int = 100_000,
@@ -75,27 +105,13 @@ def run_wakeup_sweep(
 ) -> List[Dict[str, float]]:
     """W for every (I, β) pair: analytic / vector / event estimates."""
     records: List[Dict[str, float]] = []
-    for beta_mbps in BETA_MBPS:
-        beta = beta_mbps * 1e6
-        for image_mb in IMAGE_MB:
-            image_bits = image_mb * MEGABYTE
-            analytic = wakeup_time(image_bits, beta)
-            pop = VectorPopulation(vector_nodes,
-                                   np.random.default_rng(seed))
-            system = VectorOddCI(pop, beta_bps=beta)
-            sched = system.carousel_schedule(image_bits)
-            sample = sample_wakeup_latencies(
-                sched, "image", vector_nodes, np.random.default_rng(seed))
-            event = event_tier_wakeup_mean(
-                image_bits, beta, n_readers=event_readers, seed=seed)
-            records.append({
-                "beta_mbps": beta_mbps,
-                "image_mb": image_mb,
-                "analytic_s": analytic,
-                "vector_s": sample.mean,
-                "event_s": event,
-                "vector_p99_s": sample.percentile(99),
-            })
+    for params in grid_points({"beta_mbps": BETA_MBPS,
+                               "image_mb": IMAGE_MB}):
+        record: Dict[str, float] = dict(params)
+        record.update(point_wakeup(vector_nodes=vector_nodes,
+                                   event_readers=event_readers,
+                                   seed=seed, **params))
+        records.append(record)
     return records
 
 
@@ -111,9 +127,23 @@ def render_wakeup(records: List[Dict[str, float]]) -> str:
         ["beta (Mbps)", "image (MB)", "W analytic", "W vector(1e5)",
          "W event", "p99 vector"],
         rows, title="Section 5.1 — wakeup overhead W = 1.5 I/beta")
-    eight = next(r for r in records
-                 if r["image_mb"] == 8 and r["beta_mbps"] == 1.0)
+    eight = next((r for r in records
+                  if r["image_mb"] == 8 and r["beta_mbps"] == 1.0), None)
+    if eight is None:  # partial (smoke) sweep without the headline point
+        return table
     return table + (
         f"\n8 MB @ 1 Mbps: analytic {format_seconds(eight['analytic_s'])}, "
         f"sampled over 100k nodes {format_seconds(eight['vector_s'])} — "
         f"independent of fleet size [paper: 'less than a few minutes']")
+
+
+register(Scenario(
+    name="wakeup",
+    description="Section 5.1 — wakeup overhead",
+    point=point_wakeup,
+    renderer=render_wakeup,
+    grid={"beta_mbps": BETA_MBPS, "image_mb": IMAGE_MB},
+    fixed={"vector_nodes": 100_000, "event_readers": 40},
+    smoke_grid={"beta_mbps": (1.0,), "image_mb": (1, 8)},
+    smoke_fixed={"vector_nodes": 10_000, "event_readers": 10},
+))

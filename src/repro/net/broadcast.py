@@ -103,12 +103,29 @@ class BroadcastChannel:
         self.sim.call_at(done, self._deliver, message, ev)
         return ev
 
+    def transmit_at(self, message: Message, start_time: float) -> Event:
+        """Broadcast ``message`` starting at the caller's ``start_time``.
+
+        Unlike :meth:`transmit`, the start comes from the caller's own
+        timetable rather than the channel's accumulated busy time, so a
+        periodic sender (the DSM-CC carousel) produces bit-identical
+        delivery instants whether it transmits every cycle or
+        reconstructs one after a fast-forward park.  The caller owns the
+        channel's timetable; ``start_time`` may lag ``sim.now`` by a
+        float ulp, but delivery is never scheduled in the past.
+        """
+        done = start_time + self.airtime(message.size_bits)
+        if done > self._busy_until:
+            self._busy_until = done
+        self._bits_sent += message.size_bits
+        ev = Event(self.sim, self._ev_name)
+        self.sim.call_at(max(done, self.sim.now), self._deliver, message, ev)
+        return ev
+
     def reserve_until(self, time: float) -> None:
         """Hold the multiplex busy until ``time`` without sending bits.
 
-        Used by the carousel's fast-forward wake path to re-align real
-        transmissions with the virtual cycle timetable after an idle
-        (parked) period.  A reservation in the past is a no-op.
+        A reservation in the past is a no-op.
         """
         if time > self._busy_until:
             self._busy_until = time

@@ -1,0 +1,38 @@
+"""Unified experiment runner: scenario registry + executors + artifacts.
+
+Every paper artifact is described declaratively by a
+:class:`~repro.runner.scenario.Scenario` (name, parameter grid,
+per-point function, renderer, smoke overrides) that its experiment
+module registers at import time.  A :class:`~repro.runner.runner.Runner`
+executes the grid through a serial or process-pool executor with
+deterministically spawned per-point seeds — parallel output is
+byte-identical to serial regardless of completion order — and an
+:class:`~repro.runner.artifacts.ArtifactStore` persists each run's JSON
+records, rendered table and metadata under ``artifacts/<experiment>/``.
+
+Typical use::
+
+    from repro.runner import Runner, ArtifactStore
+
+    runner = Runner(jobs=4, seed=0, store=ArtifactStore("artifacts"))
+    result = runner.run("fig6")
+    print(result.rendered)
+"""
+
+from repro.runner.artifacts import ArtifactStore, jsonify
+from repro.runner.runner import Runner, RunResult
+from repro.runner.scenario import (
+    Scenario,
+    all_scenarios,
+    get_scenario,
+    load_scenarios,
+    register,
+    scenario_ids,
+)
+
+__all__ = [
+    "Scenario", "register", "get_scenario", "all_scenarios",
+    "scenario_ids", "load_scenarios",
+    "Runner", "RunResult",
+    "ArtifactStore", "jsonify",
+]

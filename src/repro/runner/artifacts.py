@@ -1,0 +1,77 @@
+"""Durable experiment artifacts.
+
+Each run of a scenario persists three files under
+``<root>/<experiment>/``:
+
+* ``records[-smoke].json`` — the raw record list (JSON, numpy scalars
+  coerced to Python natives);
+* ``rendered[-smoke].txt`` — the rendered ASCII table/figure;
+* ``run[-smoke]-jobs<N>.json`` — run metadata: seed, resolved grid,
+  jobs, host wall time, CPU count, package version.
+
+Records and rendering are byte-identical for any ``--jobs`` value (the
+runner's determinism contract), so they carry no jobs suffix; metadata
+is per-jobs so a serial and a parallel run of the same scenario leave
+comparable wall-time evidence side by side.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.errors import ScenarioError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runner.runner import RunResult
+
+__all__ = ["ArtifactStore", "jsonify"]
+
+
+def jsonify(value: Any) -> Any:
+    """Recursively coerce a record structure to JSON-native types.
+
+    Numpy scalars become Python scalars, tuples become lists, mapping
+    keys become strings.  Deterministic for a given input, so equal
+    record lists serialise to equal bytes.
+    """
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [jsonify(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    return value
+
+
+class ArtifactStore:
+    """Writes run results under ``root/<experiment>/``."""
+
+    def __init__(self, root) -> None:
+        self.root = pathlib.Path(root)
+
+    def run_dir(self, scenario: str) -> pathlib.Path:
+        return self.root / scenario
+
+    def write(self, result: "RunResult") -> pathlib.Path:
+        """Persist one run; returns the experiment's artifact directory."""
+        if not result.scenario:
+            raise ScenarioError("cannot store a result without a scenario")
+        directory = self.run_dir(result.scenario)
+        directory.mkdir(parents=True, exist_ok=True)
+        suffix = "-smoke" if result.smoke else ""
+        records_path = directory / f"records{suffix}.json"
+        records_path.write_text(
+            json.dumps(jsonify(result.records), indent=2) + "\n")
+        (directory / f"rendered{suffix}.txt").write_text(
+            result.rendered + "\n")
+        meta_path = directory / f"run{suffix}-jobs{result.jobs}.json"
+        meta_path.write_text(
+            json.dumps(jsonify(result.meta), indent=2, sort_keys=True)
+            + "\n")
+        return directory

@@ -1,0 +1,146 @@
+"""Grid execution with deterministic per-point seeding.
+
+The :class:`Runner` turns a registered scenario into records:
+
+1. resolve the grid (full or smoke scale) into ordered points;
+2. spawn one child seed per point from the master seed via
+   :func:`repro.sim.rng.spawn_seeds` — seeds depend only on
+   ``(master seed, scenario name, point index)``, never on the executor
+   or completion order;
+3. execute points serially or on a ``ProcessPoolExecutor`` through
+   :func:`repro.analysis.sweep.run_points`, collecting results in
+   submission order;
+4. merge grid parameters into each result record, apply the scenario's
+   ``finalize`` hook, render, and (optionally) persist artifacts.
+
+Because steps 2–4 are order-independent, ``--jobs N`` output is
+byte-identical to serial for every scenario.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro._version import __version__
+from repro.analysis.sweep import run_points
+from repro.errors import ScenarioError
+from repro.runner.artifacts import ArtifactStore, jsonify
+from repro.runner.scenario import Scenario, get_scenario
+from repro.sim.rng import spawn_seeds
+
+__all__ = ["Runner", "RunResult"]
+
+Record = Dict[str, Any]
+
+
+@dataclass
+class RunResult:
+    """Everything one scenario run produced."""
+
+    scenario: str
+    seed: int
+    jobs: int
+    smoke: bool
+    records: List[Record]
+    rendered: str
+    meta: Dict[str, Any] = field(default_factory=dict)
+    artifact_dir: Optional[str] = None
+
+
+def _call_point(name: str, kwargs: Mapping[str, Any],
+                seed: int) -> Mapping[str, Any]:
+    """Pool-worker entry: resolve the scenario by name and run one point.
+
+    Module-level (hence picklable) and registry-based, so the parent
+    never ships closures across the process boundary — only the
+    scenario id, plain-data kwargs and the spawned seed.
+    """
+    scenario = get_scenario(name)
+    result = scenario.point(**kwargs, seed=seed)
+    if not isinstance(result, Mapping):
+        raise ScenarioError(
+            f"scenario {name!r} point returned {type(result).__name__}, "
+            f"expected a mapping")
+    return result
+
+
+class Runner:
+    """Executes registered scenarios (see module docstring).
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; 1 = in-process serial execution.
+    seed:
+        Master seed.  Per-point seeds are spawned from it, so *every*
+        scenario — including the deterministic ones that ignore seeds —
+        receives uniform seed plumbing.
+    smoke:
+        Apply the scenario's smoke-scale overrides.
+    store:
+        Optional :class:`~repro.runner.artifacts.ArtifactStore`; when
+        given, each run writes its records/rendering/metadata.
+    """
+
+    def __init__(self, *, jobs: int = 1, seed: int = 0,
+                 smoke: bool = False,
+                 store: Optional[ArtifactStore] = None) -> None:
+        if jobs < 1:
+            raise ScenarioError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+        self.seed = int(seed)
+        self.smoke = bool(smoke)
+        self.store = store
+
+    def run(self, name: str) -> RunResult:
+        """Run one scenario end to end."""
+        scenario = get_scenario(name)
+        points = scenario.points(self.smoke)
+        fixed = scenario.resolved_fixed(self.smoke)
+        seeds = spawn_seeds(self.seed, f"scenario/{scenario.name}",
+                            len(points))
+        calls = [
+            {"name": scenario.name, "kwargs": {**params, **fixed},
+             "seed": point_seed}
+            for params, point_seed in zip(points, seeds)
+        ]
+        wall_start = time.perf_counter()
+        results = run_points(_call_point, calls, jobs=self.jobs)
+        wall = time.perf_counter() - wall_start
+        records = self._merge(scenario, points, results)
+        rendered = scenario.renderer(records)
+        meta = {
+            "scenario": scenario.name,
+            "description": scenario.description,
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "smoke": self.smoke,
+            "grid": jsonify(scenario.resolved_grid(self.smoke)),
+            "fixed": jsonify(fixed),
+            "n_points": len(points),
+            "n_records": len(records),
+            "wall_time_s": round(wall, 6),
+            "cpu_count": os.cpu_count(),
+            "version": __version__,
+        }
+        result = RunResult(scenario=scenario.name, seed=self.seed,
+                           jobs=self.jobs, smoke=self.smoke,
+                           records=records, rendered=rendered, meta=meta)
+        if self.store is not None:
+            result.artifact_dir = str(self.store.write(result))
+        return result
+
+    @staticmethod
+    def _merge(scenario: Scenario, points: List[Dict[str, Any]],
+               results: List[Mapping[str, Any]]) -> List[Record]:
+        records: List[Record] = []
+        for params, result in zip(points, results):
+            record: Record = dict(params)
+            record.update(result)
+            records.append(record)
+        if scenario.finalize is not None:
+            records = scenario.finalize(records)
+        return records

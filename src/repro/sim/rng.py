@@ -17,7 +17,8 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["derive_seed", "derive_generator", "stream_entropy"]
+__all__ = ["derive_seed", "derive_generator", "stream_entropy",
+           "spawn_seeds"]
 
 
 def stream_entropy(name: str) -> int:
@@ -47,3 +48,19 @@ def derive_seed(master: Optional[int], name: str) -> np.random.SeedSequence:
 def derive_generator(master: Optional[int], name: str) -> np.random.Generator:
     """Return a PCG64 generator for the named stream."""
     return np.random.Generator(np.random.PCG64(derive_seed(master, name)))
+
+
+def spawn_seeds(master: Optional[int], name: str, n: int) -> list:
+    """``n`` independent integer child seeds for the named stream.
+
+    Children come from :meth:`numpy.random.SeedSequence.spawn`, so each
+    depends only on ``(master, name, index)`` — a fixed child list that
+    is independent of how (or in what order, or in which process) the
+    children are later consumed.  This is what makes parallel parameter
+    sweeps byte-identical to serial ones.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    children = derive_seed(master, name).spawn(n)
+    return [int(child.generate_state(1, np.uint64)[0])
+            for child in children]

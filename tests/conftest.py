@@ -1,0 +1,28 @@
+"""Shared test plumbing.
+
+Tier-1 tests run by default.  Tests marked ``experiments`` execute every
+registered scenario through the parallel runner at smoke scale — a
+minutes-long sweep kept out of the default run; opt in with
+``pytest --run-experiments`` (or ``make experiments``).
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-experiments", action="store_true", default=False,
+        help="run full smoke sweeps of every scenario "
+             "(experiments marker)")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-experiments"):
+        return
+    skip = pytest.mark.skip(
+        reason="scenario sweep: pass --run-experiments to run")
+    for item in items:
+        # get_closest_marker, not `in item.keywords`: keywords also
+        # contain package names, and tests/experiments/ is a package.
+        if item.get_closest_marker("experiments") is not None:
+            item.add_marker(skip)

@@ -1,0 +1,36 @@
+"""Tier-2 sweep: every registered scenario through the parallel runner.
+
+Each scenario runs at smoke scale with ``jobs=2`` and must (a) write
+all three artifact files and (b) produce records byte-identical to a
+serial run.  Opt in with ``pytest --run-experiments`` or
+``make experiments`` — this is minutes of work, kept out of tier 1.
+"""
+
+import json
+
+import pytest
+
+from repro.runner import ArtifactStore, Runner, scenario_ids
+
+
+@pytest.mark.experiments
+@pytest.mark.parametrize("name", scenario_ids())
+def test_scenario_smoke_parallel_parity(tmp_path, name):
+    serial = Runner(jobs=1, seed=0, smoke=True,
+                    store=ArtifactStore(tmp_path / "serial")).run(name)
+    parallel = Runner(jobs=2, seed=0, smoke=True,
+                      store=ArtifactStore(tmp_path / "par")).run(name)
+    assert serial.records == parallel.records
+    assert serial.rendered == parallel.rendered
+
+    for root, result in ((tmp_path / "serial", serial),
+                         (tmp_path / "par", parallel)):
+        directory = root / name
+        records = json.loads(
+            (directory / "records-smoke.json").read_text())
+        assert records and isinstance(records, list)
+        assert (directory / "rendered-smoke.txt").read_text().strip()
+        meta = json.loads(
+            (directory / f"run-smoke-jobs{result.jobs}.json").read_text())
+        assert meta["scenario"] == name
+        assert meta["wall_time_s"] >= 0

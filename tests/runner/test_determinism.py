@@ -1,0 +1,55 @@
+"""Tier-1 determinism contract: ``--jobs N`` output is byte-identical
+to serial execution.
+
+Runs fig6 and the a3 heartbeat ablation at smoke scale with 1, 2 and 4
+workers and compares the persisted artifacts byte for byte.  The
+parallel path really crosses the process boundary (ProcessPoolExecutor
+workers re-import the registry), so this also guards the picklability
+of the scenario call protocol.
+"""
+
+import os
+
+import pytest
+
+from repro.runner import ArtifactStore, Runner
+
+SCENARIOS = ("fig6", "a3")
+
+
+def _artifact_bytes(tmp_path, name, jobs):
+    root = tmp_path / f"jobs{jobs}"
+    runner = Runner(jobs=jobs, seed=7, smoke=True,
+                    store=ArtifactStore(root))
+    result = runner.run(name)
+    directory = root / name
+    records = (directory / "records-smoke.json").read_bytes()
+    rendered = (directory / "rendered-smoke.txt").read_bytes()
+    return result, records, rendered
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+@pytest.mark.parametrize("jobs", (2, 4))
+def test_parallel_matches_serial_byte_for_byte(tmp_path, name, jobs):
+    serial, serial_records, serial_rendered = _artifact_bytes(
+        tmp_path, name, 1)
+    par, par_records, par_rendered = _artifact_bytes(tmp_path, name, jobs)
+    assert serial.records == par.records
+    assert par_records == serial_records
+    assert par_rendered == serial_rendered
+    assert par.meta["jobs"] == jobs
+    assert par.meta["n_records"] == serial.meta["n_records"] > 0
+
+
+@pytest.mark.experiments
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="wall-time speedup needs >= 4 cores; the "
+                           "artifact metadata records cpu_count so "
+                           "single-core runs stay honest")
+def test_full_grid_parallel_speedup():
+    # The fig6 full grid (44 independent event+vector simulations) must
+    # cut wall time at least 2x with 4 workers on a multicore host.
+    serial = Runner(jobs=1, seed=0).run("fig6")
+    parallel = Runner(jobs=4, seed=0).run("fig6")
+    assert serial.records == parallel.records
+    assert parallel.meta["wall_time_s"] <= serial.meta["wall_time_s"] / 2

@@ -1,21 +1,26 @@
 """Tests for the command-line front end."""
 
+import json
+
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main, run_experiment
+from repro.cli import build_parser, main, run_experiment
+from repro.runner import scenario_ids
+
+ALL_IDS = {
+    "table1", "table2", "table3", "wakeup", "fig6", "fig7",
+    "a1", "a2", "a3", "a4", "a5", "a6", "scalability",
+}
 
 
-def test_experiment_registry_matches_design_doc():
-    assert set(EXPERIMENTS) == {
-        "table1", "table2", "table3", "wakeup", "fig6", "fig7",
-        "a1", "a2", "a3", "a4", "a5", "a6", "scalability",
-    }
+def test_scenario_registry_matches_design_doc():
+    assert set(scenario_ids()) == ALL_IDS
 
 
 def test_list_prints_all_ids(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
-    for key in EXPERIMENTS:
+    for key in ALL_IDS:
         assert key in out
 
 
@@ -35,18 +40,49 @@ def test_unknown_experiment_exits():
         run_experiment("nope")
 
 
-def test_out_file_written(tmp_path, capsys):
-    out_file = tmp_path / "artifact.txt"
-    assert main(["table1", "--out", str(out_file)]) == 0
-    assert "Table I" in out_file.read_text()
+def test_unknown_experiment_exits_via_main():
+    with pytest.raises(SystemExit):
+        main(["nope"])
 
 
-def test_seed_flag_changes_noise(capsys):
+def test_out_writes_artifacts(tmp_path, capsys):
+    assert main(["table1", "--out", str(tmp_path)]) == 0
+    exp_dir = tmp_path / "table1"
+    assert "Table I" in (exp_dir / "rendered.txt").read_text()
+    records = json.loads((exp_dir / "records.json").read_text())
+    assert isinstance(records, list) and records
+    meta = json.loads((exp_dir / "run-jobs1.json").read_text())
+    assert meta["scenario"] == "table1"
+    assert meta["seed"] == 0 and meta["jobs"] == 1
+
+
+def test_smoke_flag_uses_smoke_suffix(tmp_path):
+    assert main(["scalability", "--smoke", "--out", str(tmp_path)]) == 0
+    exp_dir = tmp_path / "scalability"
+    assert (exp_dir / "records-smoke.json").exists()
+    assert (exp_dir / "run-smoke-jobs1.json").exists()
+
+
+def test_seed_flag_changes_noise():
     a = run_experiment("table3", seed=0)
     b = run_experiment("table3", seed=5)
     assert a != b
 
 
+def test_table1_gets_uniform_seed_plumbing(tmp_path):
+    # Historically table1 silently ignored --seed; the registry spawns
+    # per-point seeds for every scenario, deterministic in the master.
+    a = run_experiment("table1", seed=0)
+    b = run_experiment("table1", seed=0)
+    assert a == b
+
+
 def test_parser_defaults():
     args = build_parser().parse_args(["fig6"])
     assert args.seed == 0 and args.out is None
+    assert args.jobs == 1 and args.smoke is False
+
+
+def test_parser_jobs_flag():
+    args = build_parser().parse_args(["fig6", "--jobs", "4"])
+    assert args.jobs == 4
