@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test experiments bench bench-quick
+.PHONY: test experiments bench bench-quick trace-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,3 +21,9 @@ bench:
 bench-quick:
 	$(PYTHON) -m repro bench --scales 1000 --kernel-scales 10000 \
 		--out /tmp/bench_quick.json
+
+# Traced smoke run + human summary of the resulting trace artifacts
+# (see DESIGN.md §9 for the event taxonomy).
+trace-demo:
+	$(PYTHON) -m repro a3 --smoke --trace=all --out /tmp/trace_demo
+	$(PYTHON) -m repro.telemetry.export /tmp/trace_demo/a3/trace.jsonl

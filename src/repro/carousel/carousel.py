@@ -41,6 +41,7 @@ from repro.net.broadcast import BroadcastChannel
 from repro.net.message import DEFAULT_HEADER_BITS, Message
 from repro.sim.core import Event, Simulator
 from repro.sim.process import Interrupt
+from repro.telemetry.trace import channel as _telemetry_channel
 
 __all__ = ["CarouselSchedule", "ObjectCarousel", "READ_POLICIES"]
 
@@ -239,6 +240,7 @@ class ObjectCarousel:
         self._epoch_index = 0
         self._cycle_time = 0.0
         self._segments: List[Tuple[CarouselFile, float, float]] = []
+        self._trace = _telemetry_channel("carousel")
         self._process = sim.process(self._transmit_loop())
 
     # -- content management --------------------------------------------------
@@ -409,6 +411,11 @@ class ObjectCarousel:
 
     def _transmit_cycle(self):
         """Transmit one full repetition pinned to the cycle grid."""
+        trace = self._trace
+        if trace is not None:
+            trace.emit(self._grid_time(self._epoch_index), "cycle_start",
+                       carousel=self.name, cycle=self._cycles_completed + 1,
+                       files=len(self._segments))
         yield from self._transmit_from(self._grid_time(self._epoch_index),
                                        None)
         self._cycles_completed += 1
@@ -431,10 +438,14 @@ class ObjectCarousel:
                     - DEFAULT_HEADER_BITS),
                 payload=("dsmcc-control", self._cycles_completed + 1))
             yield self.channel.transmit_at(control, cycle_start)
+        trace = self._trace
         for file, wire, offset in self._segments:
             tx_start = cycle_start + offset
             if woke_at is not None and tx_start < woke_at - 1e-9:
                 continue
+            if trace is not None:
+                trace.emit(tx_start, "transmit", carousel=self.name,
+                           file=file.name, version=file.version)
             msg = Message(
                 sender=self.name,
                 payload_bits=max(0.0, wire - DEFAULT_HEADER_BITS),
@@ -455,6 +466,10 @@ class ObjectCarousel:
         self._park_index = self._epoch_index
         self._park_epoch += 1
         self._parked = True
+        trace = self._trace
+        if trace is not None:
+            trace.emit(self.sim.now, "park", carousel=self.name,
+                       cycle=self._cycles_completed)
         self._wake = self.sim.event(name=f"{self.name}.wake")
         yield self._wake
         self._parked = False
@@ -462,6 +477,9 @@ class ObjectCarousel:
         elapsed = self._virtual_cycles()
         self._cycles_completed += elapsed
         self._epoch_index = self._park_index + elapsed
+        if trace is not None:
+            trace.emit(self.sim.now, "wake", carousel=self.name,
+                       virtual_cycles=elapsed)
 
     def _wake_at_boundary(self) -> None:
         """Arm a wake at the next virtual cycle boundary (update queued
@@ -486,6 +504,10 @@ class ObjectCarousel:
         the same grid arithmetic as :meth:`_transmit_cycle`, just with
         already-elapsed windows skipped.
         """
+        trace = self._trace
+        if trace is not None:
+            trace.emit(self.sim.now, "replay_tail", carousel=self.name,
+                       cycle=self._cycles_completed + 1)
         yield from self._transmit_from(self._grid_time(self._epoch_index),
                                        self.sim.now)
         self._cycles_completed += 1

@@ -6,6 +6,7 @@ Usage::
     python -m repro table2                # run one, print its rendering
     python -m repro fig6 --jobs 4         # fan grid points out to 4 workers
     python -m repro fig6 --out artifacts  # persist records/rendering/meta
+    python -m repro a3 --trace --out out  # + trace.jsonl / metrics.json
     python -m repro all --smoke           # everything, reduced scale
     python -m repro bench ...             # event-tier perf harness
 
@@ -13,20 +14,27 @@ Experiments are resolved from the scenario registry
 (:mod:`repro.runner`); ``python -m repro list`` prints exactly what is
 registered.  Seeds default to 0 and per-point seeds are spawned
 deterministically, so output is reproducible and ``--jobs N`` is
-byte-identical to serial execution.
+byte-identical to serial execution — including the telemetry artifacts
+a ``--trace`` run produces.
+
+Run-progress messages go through :mod:`logging` (logger ``repro``) on
+stderr; ``--verbose`` raises the level to DEBUG for per-run detail.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
-from typing import List, Optional
+from typing import List, Optional, Union
 
 from repro.errors import ScenarioError
 from repro.runner import ArtifactStore, Runner, scenario_ids
 from repro.runner.scenario import all_scenarios
 
 __all__ = ["main", "run_experiment"]
+
+log = logging.getLogger("repro")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,18 +57,37 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--out", type=str, default=None, metavar="DIR",
                         help="artifact root; writes records, rendering "
                              "and run metadata under DIR/<experiment>/")
+    parser.add_argument("--trace", nargs="?", const="default",
+                        default=None, metavar="CATS",
+                        help="enable telemetry: bare --trace uses the "
+                             "default categories, or pass 'all' / a "
+                             "comma list (kernel,carousel,control,pna,"
+                             "backend,runner); with --out the run also "
+                             "writes trace.jsonl and metrics.json")
+    parser.add_argument("--verbose", "-v", action="store_true",
+                        help="DEBUG-level run log on stderr")
     return parser
 
 
 def run_experiment(name: str, seed: int = 0, *, jobs: int = 1,
-                   smoke: bool = False, out: Optional[str] = None) -> str:
+                   smoke: bool = False, out: Optional[str] = None,
+                   trace: Union[None, bool, str] = None) -> str:
     """Run one experiment by id; returns the rendered artifact."""
     store = ArtifactStore(out) if out else None
-    runner = Runner(jobs=jobs, seed=seed, smoke=smoke, store=store)
+    runner = Runner(jobs=jobs, seed=seed, smoke=smoke, store=store,
+                    trace=trace)
     try:
-        return runner.run(name).rendered
+        result = runner.run(name)
     except ScenarioError as exc:
         raise SystemExit(str(exc)) from None
+    log.debug("%s: %d points in %.3fs (jobs=%d%s)", name,
+              result.meta["n_points"], result.meta["wall_time_s"],
+              jobs, ", smoke" if smoke else "")
+    if result.trace_events is not None:
+        log.debug("%s: traced %d events (%d dropped)", name,
+                  len(result.trace_events),
+                  result.meta.get("trace_dropped", 0))
+    return result.rendered
 
 
 def _list_experiments() -> str:
@@ -68,6 +95,13 @@ def _list_experiments() -> str:
     width = max(len(s.name) for s in scenarios)
     return "\n".join(f"{s.name:<{width}}  {s.description}"
                      for s in scenarios)
+
+
+def _setup_logging(verbose: bool) -> None:
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("[%(name)s] %(message)s"))
+    log.addHandler(handler)
+    log.setLevel(logging.DEBUG if verbose else logging.INFO)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -79,6 +113,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.perfbench import main as bench_main
         return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
+    _setup_logging(args.verbose)
     if args.experiment == "list":
         print(_list_experiments())
         return 0
@@ -89,12 +124,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{', '.join(known)} (or 'list'/'all')")
     names = known if args.experiment == "all" else [args.experiment]
     for name in names:
+        log.debug("running %s ...", name)
         text = run_experiment(name, seed=args.seed, jobs=args.jobs,
-                              smoke=args.smoke, out=args.out)
+                              smoke=args.smoke, out=args.out,
+                              trace=args.trace)
         print(text)
         print()
     if args.out:
-        print(f"[artifacts written under {args.out}/]", file=sys.stderr)
+        log.info("artifacts written under %s/", args.out)
     return 0
 
 

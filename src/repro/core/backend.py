@@ -30,6 +30,7 @@ from repro.core.network import Router
 from repro.net.message import Message
 from repro.sim.core import Event, Simulator
 from repro.sim.process import Interrupt
+from repro.telemetry.trace import channel as _telemetry_channel
 from repro.workloads.job import Job, Task
 
 __all__ = ["Backend", "JobReport"]
@@ -147,6 +148,7 @@ class Backend:
         #: and drawn from a tiny value set, so they are shared.
         self._nowork_cache: Dict[tuple, NoWork] = {}
         self.done_event: Event = sim.event(name=f"{backend_id}.done")
+        self._trace = _telemetry_channel("backend")
 
         router.register_component(backend_id, self._receive,
                                   receive_payload=self._receive_payload)
@@ -234,6 +236,10 @@ class Backend:
             # Copy-holder tracking only matters for replica placement;
             # skip the per-task set when replication is off.
             self._holders.setdefault(task.task_id, set()).add(request.pna_id)
+        trace = self._trace
+        if trace is not None:
+            trace.emit(self.sim.now, "dispatch", task=task.task_id,
+                       pna=request.pna_id, replica=is_replica)
         assignment = TaskAssignment(
             task_id=task.task_id, ref_seconds=task.ref_seconds,
             input_bits=task.input_bits, result_bits=task.result_bits)
@@ -271,7 +277,15 @@ class Backend:
                 return
         self._completed[result.task_id] = self.sim.now
         self._holders.pop(result.task_id, None)
+        trace = self._trace
+        if trace is not None:
+            trace.emit(self.sim.now, "complete", task=result.task_id,
+                       pna=result.pna_id, done=len(self._completed),
+                       total=self.job.n)
         if self.done and not self.done_event.triggered:
+            if trace is not None:
+                trace.emit(self.sim.now, "job_done", job=self.job.job_id,
+                           tasks=self.job.n)
             self.done_event.succeed(self.report())
 
     def _next_task(self) -> Optional[Task]:
@@ -294,10 +308,14 @@ class Backend:
                 expired = [tid for tid, a in self._in_flight.items()
                            if a.lease_deadline is not None
                            and a.lease_deadline < now]
+                trace = self._trace
                 for tid in expired:
                     assignment = self._in_flight.pop(tid)
                     self._pending.append(assignment.task)
                     self.requeues += 1
+                    if trace is not None:
+                        trace.emit(now, "requeue", task=tid,
+                                   pna=assignment.pna_id)
         except Interrupt:
             pass
 

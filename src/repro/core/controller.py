@@ -45,6 +45,7 @@ from repro.net.message import Message
 from repro.sim.core import Simulator
 from repro.sim.monitor import Counter, TimeSeries
 from repro.sim.process import Interrupt
+from repro.telemetry.trace import channel as _telemetry_channel
 
 __all__ = ["ControlPlane", "DirectControlPlane", "Controller"]
 
@@ -134,6 +135,27 @@ class Controller:
         self.counters = Counter()
         self.size_history: Dict[str, TimeSeries] = {}
 
+        # Telemetry (``None`` when tracing is off — hot paths guard on
+        # a single truthiness check).  The ``census.*`` family counts
+        # per-payload consolidation outcomes and is delivery-shape
+        # independent: batch and per-payload heartbeat delivery must
+        # produce identical census metrics (tested).  ``delivery.*``
+        # describes the batching itself and is excluded from parity.
+        trace = _telemetry_channel("control")
+        self._trace = trace
+        if trace is None:
+            self._m_heartbeats = None
+            self._m_stale = None
+            self._m_trim = None
+            self._m_batches = None
+            self._m_batch_size = None
+        else:
+            self._m_heartbeats = trace.counter("census.heartbeats")
+            self._m_stale = trace.counter("census.stale_resets")
+            self._m_trim = trace.counter("census.trim_resets")
+            self._m_batches = trace.counter("delivery.batches")
+            self._m_batch_size = trace.histogram("delivery.batch_size")
+
         router.register_component(controller_id, self._receive,
                                   receive_batch=self._receive_batch,
                                   receive_payload=self._receive_payload)
@@ -169,6 +191,10 @@ class Controller:
         record = self._live_instance(instance_id)
         record.status = InstanceStatus.DISMANTLING
         payload = ResetPayload(instance_id=instance_id)
+        trace = self._trace
+        if trace is not None:
+            trace.emit(self.sim.now, "reset_publish", instance=instance_id,
+                       size=record.size)
         self.control_plane.publish_reset(
             payload, sign_control(self.key, payload))
         record.resets_sent += 1
@@ -219,6 +245,11 @@ class Controller:
             heartbeat_interval_s=record.spec.heartbeat_interval_s,
             backend_id=record.spec.backend_id,
         )
+        trace = self._trace
+        if trace is not None:
+            trace.emit(self.sim.now, "wakeup_publish",
+                       instance=record.instance_id, deficit=deficit,
+                       probability=probability)
         self.control_plane.publish_wakeup(
             payload, sign_control(self.key, payload))
         record.wakeups_sent += 1
@@ -232,6 +263,8 @@ class Controller:
         if not isinstance(payload, HeartbeatPayload):
             raise OddCIError(f"controller got unexpected payload {payload!r}")
         self.counters.incr("heartbeats")
+        if self._m_heartbeats is not None:
+            self._m_heartbeats.value += 1
         self._consolidate(payload)
 
     def _receive_batch(self, payloads: list) -> None:
@@ -242,6 +275,12 @@ class Controller:
         per-message wrapping and counter bumps are amortised.
         """
         self.counters.incr("heartbeats", len(payloads))
+        trace = self._trace
+        if trace is not None:
+            self._m_heartbeats.value += len(payloads)
+            self._m_batches.value += 1
+            self._m_batch_size.observe(len(payloads))
+            trace.emit(self.sim.now, "heartbeat_batch", size=len(payloads))
         consolidate = self._consolidate
         for payload in payloads:
             consolidate(payload)
@@ -262,6 +301,8 @@ class Controller:
         if record is None or record.status in (InstanceStatus.DISMANTLING,
                                                InstanceStatus.DESTROYED):
             # Busy for a dead/unknown instance: order a reset.
+            if self._m_stale is not None:
+                self._m_stale.value += 1
             self._reply_reset(payload.pna_id)
             return
         trims = self._pending_trims.get(instance_id, 0)
@@ -269,6 +310,8 @@ class Controller:
             self._pending_trims[instance_id] = trims - 1
             record.drop_member(payload.pna_id)
             record.trims_sent += 1
+            if self._m_trim is not None:
+                self._m_trim.value += 1
             self._reply_reset(payload.pna_id)
             return
         record.mark_member(payload.pna_id, now)
@@ -293,6 +336,11 @@ class Controller:
 
     def _maintenance_round(self) -> None:
         now = self.sim.now
+        trace = self._trace
+        if trace is not None:
+            trace.emit(now, "maintenance_round",
+                       instances=len(self.instances),
+                       registry=len(self.registry))
         for record in list(self.instances.values()):
             if record.status is InstanceStatus.DESTROYED:
                 continue
@@ -317,6 +365,11 @@ class Controller:
 
     def _rebalance(self, record: InstanceRecord) -> None:
         band = record.spec.size_tolerance * record.spec.target_size
+        trace = self._trace
+        if trace is not None and record.size != record.spec.target_size:
+            trace.emit(self.sim.now, "rebalance",
+                       instance=record.instance_id, size=record.size,
+                       target=record.spec.target_size)
         if record.size < record.spec.target_size - band:
             # Deficit: recompose by re-broadcasting the wakeup.
             if record.status is not InstanceStatus.PROVISIONING:

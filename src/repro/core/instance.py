@@ -10,7 +10,7 @@ from typing import Any, Mapping, Optional
 from repro.errors import InstanceError
 
 __all__ = ["InstanceSpec", "InstanceStatus", "InstanceRecord",
-           "new_instance_id"]
+           "new_instance_id", "reset_instance_sequence"]
 
 _instance_seq = itertools.count(1)
 
@@ -18,6 +18,16 @@ _instance_seq = itertools.count(1)
 def new_instance_id(prefix: str = "oddci") -> str:
     """Fresh unique instance identifier."""
     return f"{prefix}-{next(_instance_seq)}"
+
+
+def reset_instance_sequence() -> None:
+    """Restart instance-id numbering at 1.
+
+    The runner calls this at the start of every grid point so ids in
+    trace artifacts do not depend on how many points the worker process
+    ran before — part of the ``--jobs`` byte-parity contract."""
+    global _instance_seq
+    _instance_seq = itertools.count(1)
 
 
 @dataclass(frozen=True)

@@ -33,6 +33,7 @@ from repro.net.link import DuplexChannel
 from repro.net.message import Message
 from repro.sim.core import Simulator
 from repro.sim.wheel import TimerWheel
+from repro.telemetry.trace import channel as _telemetry_channel
 
 __all__ = ["PNA"]
 
@@ -169,6 +170,7 @@ class PNA:
         #: are unchanged — HeartbeatPayload is frozen, so sharing is safe.
         self._hb_payload: Optional[HeartbeatPayload] = None
         self._hb_cohort: Optional[_HeartbeatCohort] = None
+        self._trace = _telemetry_channel("pna")
 
         router.register_pna(pna_id, channel, self._on_downlink,
                             receive_payload=self._on_downlink_payload)
@@ -233,6 +235,10 @@ class PNA:
         # must not double-accept while staging the image.
         self.state = PNAState.BUSY
         self.instance_id = wakeup.instance_id
+        trace = self._trace
+        if trace is not None:
+            trace.emit(self.sim.now, "accept", pna=self.pna_id,
+                       instance=wakeup.instance_id)
         if wakeup.heartbeat_interval_s != self.heartbeat_interval_s:
             # Reconfiguration takes effect now, not after the current
             # (possibly long) sleep.
@@ -268,6 +274,10 @@ class PNA:
         self._go_idle()
 
     def _go_idle(self) -> None:
+        trace = self._trace
+        if trace is not None and self.state is PNAState.BUSY:
+            trace.emit(self.sim.now, "idle", pna=self.pna_id,
+                       instance=self.instance_id)
         if self.dve is not None:
             self.dve.destroy()
             self.dve = None
@@ -329,6 +339,9 @@ class PNA:
         if not self.online:
             return
         self.online = False
+        trace = self._trace
+        if trace is not None:
+            trace.emit(self.sim.now, "offline", pna=self.pna_id)
         self._go_idle()
         if manage_channel:
             self.channel.set_up(False)
@@ -338,6 +351,9 @@ class PNA:
         if self.online:
             return
         self.online = True
+        trace = self._trace
+        if trace is not None:
+            trace.emit(self.sim.now, "online", pna=self.pna_id)
         if manage_channel:
             self.channel.set_up(True)
 

@@ -44,6 +44,7 @@ from repro.net.link import DuplexChannel
 from repro.net.message import bits_from_bytes
 from repro.sim.core import Simulator
 from repro.sim.process import Interrupt
+from repro.telemetry.trace import channel as _telemetry_channel
 from repro.workloads.devices import REFERENCE_STB, DeviceProfile, PowerMode
 from repro.workloads.traces import ChurnModel
 
@@ -134,6 +135,11 @@ class CarouselControlPlane(ControlPlane):
 
     def _publish_control(self, payload, signature: bytes) -> None:
         self._config_version += 1
+        trace = _telemetry_channel("control")
+        if trace is not None:
+            trace.emit(self.sim.now, "carousel_publish",
+                       kind=type(payload).__name__,
+                       config_version=self._config_version)
         self.carousel.replace_file(CarouselFile(
             name=CONFIG_FILE, size_bits=self._config_bits,
             version=self._config_version,
@@ -159,6 +165,9 @@ class PNAXlet(Xlet):
         self._loop = None
 
     def on_start(self) -> None:
+        trace = self.pna._trace
+        if trace is not None:
+            trace.emit(self.sim.now, "xlet_start", pna=self.pna.pna_id)
         self.pna.restart(manage_channel=False)
         self._loop = self.sim.process(self._control_loop())
 
@@ -166,6 +175,9 @@ class PNAXlet(Xlet):
         self._stop_loop()
 
     def on_destroy(self, unconditional: bool) -> None:
+        trace = self.pna._trace
+        if trace is not None:
+            trace.emit(self.sim.now, "xlet_destroy", pna=self.pna.pna_id)
         self._stop_loop()
         self.pna.shutdown(manage_channel=False)
 

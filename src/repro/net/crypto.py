@@ -18,9 +18,16 @@ from typing import Any, Mapping
 
 from repro.errors import SignatureError
 
-__all__ = ["KeyRegistry", "sign", "verify", "canonicalize"]
+__all__ = ["KeyRegistry", "sign", "verify", "canonicalize",
+           "reset_key_sequence"]
 
 _key_counter = itertools.count(1)
+
+
+def reset_key_sequence() -> None:
+    """Restart key numbering at 1 (per-point trace determinism)."""
+    global _key_counter
+    _key_counter = itertools.count(1)
 
 
 def canonicalize(fields: Mapping[str, Any]) -> bytes:

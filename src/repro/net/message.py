@@ -22,6 +22,7 @@ __all__ = [
     "KILOBYTE",
     "MEGABYTE",
     "DEFAULT_HEADER_BITS",
+    "reset_message_sequence",
 ]
 
 #: Bits in a kilobyte / megabyte of payload (power-of-two convention, as
@@ -33,6 +34,12 @@ MEGABYTE = 1024 * 1024 * 8
 DEFAULT_HEADER_BITS = 64 * 8
 
 _msg_ids = itertools.count(1)
+
+
+def reset_message_sequence() -> None:
+    """Restart message-id numbering at 1 (per-point trace determinism)."""
+    global _msg_ids
+    _msg_ids = itertools.count(1)
 
 
 def bits_from_bytes(n_bytes: float) -> float:

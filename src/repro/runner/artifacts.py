@@ -7,12 +7,18 @@ Each run of a scenario persists three files under
   coerced to Python natives);
 * ``rendered[-smoke].txt`` — the rendered ASCII table/figure;
 * ``run[-smoke]-jobs<N>.json`` — run metadata: seed, resolved grid,
-  jobs, host wall time, CPU count, package version.
+  jobs, host wall time (total and per point), CPU count, package
+  version.
 
 Records and rendering are byte-identical for any ``--jobs`` value (the
 runner's determinism contract), so they carry no jobs suffix; metadata
 is per-jobs so a serial and a parallel run of the same scenario leave
 comparable wall-time evidence side by side.
+
+A traced run (``--trace``) additionally writes ``trace.jsonl`` and
+``metrics.json``.  Both obey the same byte-parity contract as records —
+identical for any ``--jobs`` — and carry no smoke/jobs suffix: the
+trace is a debugging artifact and the latest traced run wins.
 """
 
 from __future__ import annotations
@@ -74,4 +80,12 @@ class ArtifactStore:
         meta_path.write_text(
             json.dumps(jsonify(result.meta), indent=2, sort_keys=True)
             + "\n")
+        if result.trace_events is not None:
+            from repro.telemetry.export import dumps_jsonl
+
+            (directory / "trace.jsonl").write_text(
+                dumps_jsonl(result.trace_events))
+            (directory / "metrics.json").write_text(
+                json.dumps(jsonify(result.metrics or {}), indent=2,
+                           sort_keys=True) + "\n")
         return directory

@@ -22,18 +22,44 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro._version import __version__
 from repro.analysis.sweep import run_points
+from repro.core.instance import reset_instance_sequence
 from repro.errors import ScenarioError
+from repro.net.crypto import reset_key_sequence
+from repro.net.message import reset_message_sequence
 from repro.runner.artifacts import ArtifactStore, jsonify
 from repro.runner.scenario import Scenario, get_scenario
 from repro.sim.rng import spawn_seeds
+from repro.telemetry.metrics import merge_snapshots
+from repro.telemetry.trace import TraceEvent, Tracer, active, parse_categories
+from repro.workloads.job import reset_job_sequence
 
 __all__ = ["Runner", "RunResult"]
 
 Record = Dict[str, Any]
+
+#: Per-point ring-buffer cap for runner-created tracers: plenty for any
+#: smoke/full grid point while bounding a pathological event flood.
+TRACE_RING = 1_000_000
+
+
+def _reset_global_sequences() -> None:
+    """Restart every process-global id sequence before a grid point.
+
+    Instance/job/message/key ids come from module-level counters, so
+    without a reset their values depend on which pool worker ran the
+    point and what it ran before.  Records never leak these ids (the
+    pre-existing ``--jobs`` byte-parity tests prove it), but trace
+    events do — resetting per point makes traces equally jobs-invariant
+    and, as a bonus, makes serial re-runs of a single point reproducible.
+    """
+    reset_instance_sequence()
+    reset_job_sequence()
+    reset_message_sequence()
+    reset_key_sequence()
 
 
 @dataclass
@@ -48,23 +74,46 @@ class RunResult:
     rendered: str
     meta: Dict[str, Any] = field(default_factory=dict)
     artifact_dir: Optional[str] = None
+    #: Merged trace events across all points (``None`` when untraced).
+    trace_events: Optional[List[TraceEvent]] = None
+    #: Merged metrics snapshot across all points (``None`` when untraced).
+    metrics: Optional[Dict[str, Any]] = None
 
 
-def _call_point(name: str, kwargs: Mapping[str, Any],
-                seed: int) -> Mapping[str, Any]:
+def _call_point(name: str, kwargs: Mapping[str, Any], seed: int,
+                trace: Optional[Tuple[str, ...]] = None) -> Dict[str, Any]:
     """Pool-worker entry: resolve the scenario by name and run one point.
 
     Module-level (hence picklable) and registry-based, so the parent
     never ships closures across the process boundary — only the
-    scenario id, plain-data kwargs and the spawned seed.
+    scenario id, plain-data kwargs, the spawned seed and the enabled
+    trace categories.  Returns an envelope ``{"record", "wall_s",
+    "trace"}``: the scenario's record, the point's host wall time, and
+    (when tracing) the point's events plus metrics snapshot — all plain
+    picklable data, so parallel points ship their telemetry home.
     """
+    _reset_global_sequences()
     scenario = get_scenario(name)
-    result = scenario.point(**kwargs, seed=seed)
+    wall_start = time.perf_counter()
+    if trace is None:
+        result = scenario.point(**kwargs, seed=seed)
+        telemetry = None
+    else:
+        tracer = Tracer(trace, ring=TRACE_RING)
+        with active(tracer):
+            result = scenario.point(**kwargs, seed=seed)
+        telemetry = {
+            "events": tracer.events(),
+            "metrics": tracer.metrics.snapshot(),
+            "emitted": tracer.emitted,
+            "dropped": tracer.dropped,
+        }
+    wall = time.perf_counter() - wall_start
     if not isinstance(result, Mapping):
         raise ScenarioError(
             f"scenario {name!r} point returned {type(result).__name__}, "
             f"expected a mapping")
-    return result
+    return {"record": result, "wall_s": wall, "trace": telemetry}
 
 
 class Runner:
@@ -83,17 +132,29 @@ class Runner:
     store:
         Optional :class:`~repro.runner.artifacts.ArtifactStore`; when
         given, each run writes its records/rendering/metadata.
+    trace:
+        ``None`` (tracing off) or a category spec accepted by
+        :func:`repro.telemetry.trace.parse_categories` — e.g. ``True`` /
+        ``"default"``, ``"all"``, or ``"control,pna"``.  Each grid point
+        then runs under a fresh :class:`~repro.telemetry.trace.Tracer`;
+        the merged events and metrics land on the :class:`RunResult`
+        (and, with a store, in ``trace.jsonl`` / ``metrics.json``).
     """
 
     def __init__(self, *, jobs: int = 1, seed: int = 0,
                  smoke: bool = False,
-                 store: Optional[ArtifactStore] = None) -> None:
+                 store: Optional[ArtifactStore] = None,
+                 trace: Union[None, bool, str, Iterable[str]] = None) -> None:
         if jobs < 1:
             raise ScenarioError(f"jobs must be >= 1, got {jobs}")
         self.jobs = int(jobs)
         self.seed = int(seed)
         self.smoke = bool(smoke)
         self.store = store
+        if trace is None or trace is False:
+            self.trace: Optional[Tuple[str, ...]] = None
+        else:
+            self.trace = parse_categories(None if trace is True else trace)
 
     def run(self, name: str) -> RunResult:
         """Run one scenario end to end."""
@@ -104,13 +165,14 @@ class Runner:
                             len(points))
         calls = [
             {"name": scenario.name, "kwargs": {**params, **fixed},
-             "seed": point_seed}
+             "seed": point_seed, "trace": self.trace}
             for params, point_seed in zip(points, seeds)
         ]
         wall_start = time.perf_counter()
-        results = run_points(_call_point, calls, jobs=self.jobs)
+        envelopes = run_points(_call_point, calls, jobs=self.jobs)
         wall = time.perf_counter() - wall_start
-        records = self._merge(scenario, points, results)
+        records = self._merge(scenario, points,
+                              [env["record"] for env in envelopes])
         rendered = scenario.renderer(records)
         meta = {
             "scenario": scenario.name,
@@ -123,15 +185,63 @@ class Runner:
             "n_points": len(points),
             "n_records": len(records),
             "wall_time_s": round(wall, 6),
+            "point_wall_s": [round(env["wall_s"], 6) for env in envelopes],
             "cpu_count": os.cpu_count(),
             "version": __version__,
         }
         result = RunResult(scenario=scenario.name, seed=self.seed,
                            jobs=self.jobs, smoke=self.smoke,
                            records=records, rendered=rendered, meta=meta)
+        if self.trace is not None:
+            self._assemble_trace(result, scenario, points, seeds, envelopes)
         if self.store is not None:
             result.artifact_dir = str(self.store.write(result))
         return result
+
+    def _assemble_trace(self, result: RunResult, scenario: Scenario,
+                        points: List[Dict[str, Any]], seeds: List[int],
+                        envelopes: List[Mapping[str, Any]]) -> None:
+        """Merge per-point telemetry into one event list + one snapshot.
+
+        Runner markers (``run_start`` / ``point_start`` / ``point_end``
+        / ``run_end``) frame each point's events when the ``runner``
+        category is enabled; they carry only deterministic fields
+        (indices, params, seeds, event counts — never wall times), so
+        the merged trace honours the ``--jobs`` byte-parity contract.
+        """
+        markers = "runner" in self.trace
+        events: List[TraceEvent] = []
+        metrics: Dict[str, Any] = {}
+        emitted = dropped = 0
+        if markers:
+            events.append((0.0, "runner", "run_start", {
+                "scenario": scenario.name, "seed": self.seed,
+                "smoke": self.smoke,
+                "categories": ",".join(self.trace)}))
+        for index, (params, point_seed, env) in enumerate(
+                zip(points, seeds, envelopes)):
+            telemetry = env["trace"]
+            if markers:
+                events.append((0.0, "runner", "point_start", {
+                    "index": index, "seed": point_seed,
+                    "params": jsonify(params)}))
+            events.extend(telemetry["events"])
+            emitted += telemetry["emitted"]
+            dropped += telemetry["dropped"]
+            if markers:
+                events.append((0.0, "runner", "point_end", {
+                    "index": index, "events": len(telemetry["events"]),
+                    "dropped": telemetry["dropped"]}))
+            metrics = merge_snapshots(metrics, telemetry["metrics"])
+        if markers:
+            events.append((0.0, "runner", "run_end", {
+                "points": len(points), "events": len(events) + 1,
+                "emitted": emitted, "dropped": dropped}))
+        result.trace_events = events
+        result.metrics = metrics
+        result.meta["trace_categories"] = list(self.trace)
+        result.meta["trace_events"] = len(events)
+        result.meta["trace_dropped"] = dropped
 
     @staticmethod
     def _merge(scenario: Scenario, points: List[Dict[str, Any]],

@@ -39,6 +39,7 @@ from heapq import heappop, heappush
 from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import SchedulingError, SimulationError
+from repro.telemetry.trace import channel as _telemetry_channel
 
 __all__ = [
     "EventHandle",
@@ -57,6 +58,21 @@ PRIORITY_NORMAL = 10
 PRIORITY_LATE = 20
 
 _INF = math.inf
+
+
+def _callback_name(callback: Callable) -> str:
+    """Deterministic display name for a scheduled callback.
+
+    Qualnames only — never reprs, which embed object addresses and
+    would break trace byte-parity across processes.
+    """
+    name = getattr(callback, "__qualname__", None)
+    if name is not None:
+        return name
+    func = getattr(callback, "func", None)  # functools.partial
+    if func is not None:
+        return _callback_name(func)
+    return type(callback).__name__
 
 
 class EventHandle:
@@ -239,6 +255,38 @@ class Simulator:
         self.trace = trace
         self._seed = seed
         self._rng_streams: dict[str, Any] = {}
+        # Telemetry: the ambient tracer's kernel channel, resolved once.
+        # Disabled (the default) leaves _kfast None, so the scheduling
+        # hot paths pay exactly one is-None test; enabled installs a
+        # dispatch hook through the existing `trace` callback slot, so
+        # the run loop gains no new branch either way.
+        ktrace = _telemetry_channel("kernel")
+        self._ktrace = ktrace
+        if ktrace is None:
+            self._kfast = None
+        else:
+            self._kfast = ktrace.counter("kernel.fast_path_scheduled")
+            self._khandle = ktrace.counter("kernel.handle_path_scheduled")
+            self._install_dispatch_hook(ktrace)
+
+    def _install_dispatch_hook(self, ktrace) -> None:
+        """Emit a kernel trace event per dispatched callback.
+
+        Chains with a ``trace`` callback supplied at construction, so
+        both observers see every event.  Assigning ``sim.trace`` *after*
+        construction replaces the whole hook — standard attribute
+        semantics; pass the callback to ``__init__`` to compose.
+        """
+        emit = ktrace.emit
+        user = self.trace
+
+        def _dispatch(time: float, callback: Callable, args: tuple,
+                      _emit=emit, _user=user) -> None:
+            _emit(time, "dispatch", fn=_callback_name(callback))
+            if _user is not None:
+                _user(time, callback, args)
+
+        self.trace = _dispatch
 
     # -- clock ---------------------------------------------------------
     @property
@@ -296,6 +344,8 @@ class Simulator:
         seq = self._seq
         self._seq = seq + 1
         self._live += 1
+        if self._kfast is not None:
+            self._khandle.value += 1
         heappush(self._heap, (time, priority, seq, handle))
         return handle
 
@@ -318,6 +368,9 @@ class Simulator:
         seq = self._seq
         self._seq = seq + 1
         self._live += 1
+        counter = self._kfast
+        if counter is not None:
+            counter.value += 1
         heappush(self._heap, (time, priority, seq, callback, args))
 
     #: Alias — reads naturally at call sites (`sim.call_later(3, cb)`).
@@ -337,6 +390,9 @@ class Simulator:
         seq = self._seq
         self._seq = seq + 1
         self._live += 1
+        counter = self._kfast
+        if counter is not None:
+            counter.value += 1
         heappush(self._heap, (time, priority, seq, callback, args))
 
     def event(self, name: str = "") -> Event:

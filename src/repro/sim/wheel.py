@@ -34,6 +34,7 @@ from typing import Callable, Dict, Optional
 
 from repro.errors import ConfigurationError
 from repro.sim.core import Simulator
+from repro.telemetry.trace import channel as _telemetry_channel
 
 __all__ = ["TimerWheel"]
 
@@ -58,7 +59,7 @@ class TimerWheel:
 
     __slots__ = ("sim", "interval_s", "name", "jitter_s", "_rng_stream",
                  "_subs", "_next_token", "_armed", "_origin", "_k",
-                 "_epoch", "ticks")
+                 "_epoch", "ticks", "_trace")
 
     def __init__(
         self,
@@ -87,6 +88,7 @@ class TimerWheel:
         self._k = 0
         self._epoch = 0
         self.ticks = 0
+        self._trace = _telemetry_channel("kernel")
 
     # -- subscription ----------------------------------------------------
     @property
@@ -144,6 +146,10 @@ class TimerWheel:
             self._armed = False
             return  # lazy disarm: nobody is listening
         self.ticks += 1
+        trace = self._trace
+        if trace is not None:
+            trace.emit(tick_time, "wheel_flush", wheel=self.name,
+                       subscribers=len(subs))
         for callback in list(subs.values()):
             callback(tick_time)
         if subs:

@@ -1,0 +1,201 @@
+"""Named Counters / Gauges / Histograms with labels, snapshotable to JSON.
+
+A :class:`MetricsRegistry` is a flat map from *series keys* to metric
+objects.  A series key is the metric name plus its sorted labels
+(``census.batch_size{controller=controller}``), so the same name can be
+observed along several label sets without the instruments colliding.
+
+Hot-path contract (shared with :mod:`repro.telemetry.trace`):
+instrumented code resolves its instruments **once** at construction and
+keeps direct references; a :class:`Counter` increment is then a single
+attribute bump.  Registry lookups (``counter()`` / ``gauge()`` /
+``histogram()``) are get-or-create and not meant for per-event calls.
+
+Snapshots are plain JSON-native dicts with deterministically sorted
+keys, so equal registries serialise to equal bytes — the property the
+runner's ``--jobs`` parity contract relies on.  Worker snapshots are
+combined with :func:`merge_snapshots` (counters and histograms add,
+gauges keep the later value), which is associative in point order.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "series_key",
+    "merge_snapshots",
+]
+
+#: Default histogram bucket upper bounds (counts land in the first
+#: bucket whose bound is >= the observation; larger values go to +inf).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 1_000, 10_000, 100_000)
+
+
+def series_key(name: str, labels: Optional[Dict[str, Any]] = None) -> str:
+    """Canonical registry key: ``name{k1=v1,k2=v2}`` with sorted labels."""
+    if not name:
+        raise ConfigurationError("metric name must be non-empty")
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotone counter.  ``value`` is public: the hottest call sites
+    (kernel fast path) bump it directly instead of calling :meth:`inc`."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-written value (instance size, registry census, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bound histogram (cumulative-free: one count per bucket).
+
+    ``bounds`` are the inclusive upper edges; observations above the
+    last bound land in the overflow bucket.  ``count`` / ``total`` keep
+    the exact first moments alongside the bucketed shape.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ConfigurationError(
+                f"histogram bounds must be non-empty, strictly "
+                f"increasing, got {bounds!r}")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 = overflow bucket
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    def bucket_labels(self) -> Tuple[str, ...]:
+        return tuple(f"le_{b:g}" for b in self.bounds) + ("inf",)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named, labelled instruments."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instruments -----------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = series_key(name, labels)
+        metric = self._counters.get(key)
+        if metric is None:
+            self._counters[key] = metric = Counter()
+        return metric
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = series_key(name, labels)
+        metric = self._gauges.get(key)
+        if metric is None:
+            self._gauges[key] = metric = Gauge()
+        return metric
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  **labels: Any) -> Histogram:
+        key = series_key(name, labels)
+        metric = self._histograms.get(key)
+        if metric is None:
+            self._histograms[key] = metric = Histogram(buckets)
+        elif tuple(float(b) for b in buckets) != metric.bounds:
+            raise ConfigurationError(
+                f"histogram {key!r} re-registered with different buckets")
+        return metric
+
+    def __len__(self) -> int:
+        return (len(self._counters) + len(self._gauges)
+                + len(self._histograms))
+
+    # -- snapshots -------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-native, deterministically ordered view of every series."""
+        return {
+            "counters": {k: self._counters[k].value
+                         for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k].value
+                       for k in sorted(self._gauges)},
+            "histograms": {
+                k: self._histogram_snapshot(self._histograms[k])
+                for k in sorted(self._histograms)
+            },
+        }
+
+    @staticmethod
+    def _histogram_snapshot(h: Histogram) -> Dict[str, Any]:
+        return {
+            "count": h.count,
+            "total": h.total,
+            "buckets": dict(zip(h.bucket_labels(), h.counts)),
+        }
+
+
+def merge_snapshots(base: Dict[str, Any],
+                    update: Dict[str, Any]) -> Dict[str, Any]:
+    """Fold ``update`` into ``base`` (both snapshot dicts); returns a new
+    snapshot.  Counters and histograms add; gauges keep ``update``'s
+    value (last write wins — the runner merges in point order, so the
+    result is deterministic for any worker count).
+    """
+    counters = dict(base.get("counters", {}))
+    for key, value in update.get("counters", {}).items():
+        counters[key] = counters.get(key, 0) + value
+    gauges = dict(base.get("gauges", {}))
+    gauges.update(update.get("gauges", {}))
+    histograms = {k: dict(v, buckets=dict(v["buckets"]))
+                  for k, v in base.get("histograms", {}).items()}
+    for key, snap in update.get("histograms", {}).items():
+        merged = histograms.get(key)
+        if merged is None:
+            histograms[key] = dict(snap, buckets=dict(snap["buckets"]))
+            continue
+        if set(merged["buckets"]) != set(snap["buckets"]):
+            raise ConfigurationError(
+                f"histogram {key!r} snapshots have mismatched buckets")
+        merged["count"] += snap["count"]
+        merged["total"] += snap["total"]
+        for label, n in snap["buckets"].items():
+            merged["buckets"][label] += n
+    return {
+        "counters": {k: counters[k] for k in sorted(counters)},
+        "gauges": {k: gauges[k] for k in sorted(gauges)},
+        "histograms": {k: histograms[k] for k in sorted(histograms)},
+    }

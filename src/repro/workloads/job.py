@@ -18,9 +18,15 @@ import numpy as np
 
 from repro.errors import WorkloadError
 
-__all__ = ["Task", "Job", "JobStats"]
+__all__ = ["Task", "Job", "JobStats", "reset_job_sequence"]
 
 _job_ids = itertools.count(1)
+
+
+def reset_job_sequence() -> None:
+    """Restart job-id numbering at 1 (per-point trace determinism)."""
+    global _job_ids
+    _job_ids = itertools.count(1)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,12 @@
+"""Telemetry-test hygiene: never leak an ambient tracer across tests."""
+
+import pytest
+
+from repro.telemetry import trace as trace_mod
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_tracer():
+    trace_mod.uninstall()
+    yield
+    trace_mod.uninstall()

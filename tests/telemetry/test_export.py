@@ -1,0 +1,102 @@
+"""Exporter round trips: JSONL <-> events, Chrome trace_event, summary."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry.export import (
+    chrome_trace,
+    dumps_jsonl,
+    main,
+    obj_to_event,
+    read_jsonl,
+    summarize,
+)
+
+EVENTS = [
+    (0.0, "runner", "run_start", {"scenario": "a3", "seed": 7}),
+    (0.0, "runner", "point_start", {"index": 0}),
+    (1.25, "control", "wakeup_publish", {"instance": "oddci-1"}),
+    (2.5, "pna", "accept", {"pna": "pna-3", "instance": "oddci-1"}),
+    (3.0, "backend", "complete", None),
+    (0.0, "runner", "point_start", {"index": 1}),
+    (0.5, "kernel", "wheel_flush", {"wheel": "hb", "subscribers": 4}),
+]
+
+
+class TestJsonlRoundTrip:
+    def test_read_inverts_dumps(self):
+        assert read_jsonl(dumps_jsonl(EVENTS).splitlines()) == EVENTS
+
+    def test_equal_events_equal_bytes(self):
+        again = [tuple(ev) for ev in EVENTS]
+        assert dumps_jsonl(EVENTS) == dumps_jsonl(again)
+
+    def test_lines_are_compact_and_key_sorted(self):
+        line = dumps_jsonl(EVENTS[:1]).strip()
+        assert ": " not in line and ", " not in line
+        obj = json.loads(line)
+        assert list(obj) == sorted(obj)
+
+    def test_empty(self):
+        assert dumps_jsonl([]) == ""
+        assert read_jsonl([]) == []
+        assert read_jsonl(["", "  "]) == []
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ConfigurationError):
+            obj_to_event({"cat": "pna"})  # missing keys
+
+
+class TestChromeTrace:
+    def test_instants_microseconds_and_tids(self):
+        doc = chrome_trace(EVENTS)
+        tes = doc["traceEvents"]
+        assert len(tes) == len(EVENTS)
+        wakeup = tes[2]
+        assert wakeup["ph"] == "i" and wakeup["s"] == "t"
+        assert wakeup["ts"] == pytest.approx(1.25e6)
+        assert wakeup["cat"] == "control"
+        assert wakeup["args"] == {"instance": "oddci-1"}
+        # Distinct categories get distinct tid rows.
+        assert len({te["tid"] for te in tes}) == len(
+            {te["cat"] for te in tes})
+
+    def test_point_start_advances_pid(self):
+        doc = chrome_trace(EVENTS)
+        pids = [te["pid"] for te in doc["traceEvents"]]
+        # run_start in pid 0; point 0's events in pid 1; point 1's in 2.
+        assert pids[0] == 0
+        assert pids[1:5] == [1, 1, 1, 1]
+        assert pids[5:] == [2, 2]
+
+
+class TestSummarize:
+    def test_counts_and_metrics_digest(self):
+        metrics = {"counters": {"census.heartbeats": 12}, "gauges": {},
+                   "histograms": {"h": {"count": 2, "total": 5.0,
+                                        "buckets": {"inf": 2}}}}
+        text = summarize(EVENTS, metrics)
+        assert f"trace: {len(EVENTS)} events" in text
+        assert "control" in text and "pna/accept" in text
+        assert "census.heartbeats = 12" in text
+        assert "count=2 mean=2.5" in text
+
+    def test_empty_trace(self):
+        assert summarize([]) == "trace: no events"
+
+
+class TestCliEntry:
+    def test_main_summarises_and_converts(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        trace_path.write_text(dumps_jsonl(EVENTS))
+        (tmp_path / "metrics.json").write_text(json.dumps(
+            {"counters": {"x": 1}, "gauges": {}, "histograms": {}}))
+        chrome_out = tmp_path / "chrome.json"
+        assert main([str(trace_path), "--chrome", str(chrome_out)]) == 0
+        out = capsys.readouterr().out
+        assert f"trace: {len(EVENTS)} events" in out
+        assert "x = 1" in out  # sibling metrics.json picked up
+        doc = json.loads(chrome_out.read_text())
+        assert len(doc["traceEvents"]) == len(EVENTS)

@@ -1,0 +1,127 @@
+"""Metrics registry: series keys, snapshots, cross-worker merging."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry.metrics import (
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    series_key,
+)
+
+
+class TestSeriesKey:
+    def test_bare_name(self):
+        assert series_key("census.heartbeats") == "census.heartbeats"
+
+    def test_labels_sorted(self):
+        assert series_key("x", {"b": 2, "a": 1}) == "x{a=1,b=2}"
+        assert series_key("x", {"a": 1, "b": 2}) == "x{a=1,b=2}"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            series_key("")
+
+
+class TestRegistry:
+    def test_counter_get_or_create(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits", instance="a")
+        c.inc()
+        c.value += 2  # hot-path direct bump
+        assert reg.counter("hits", instance="a") is c
+        assert reg.counter("hits", instance="b") is not c
+        assert reg.snapshot()["counters"]["hits{instance=a}"] == 3
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("size")
+        g.set(3)
+        g.set(7)
+        assert reg.snapshot()["gauges"]["size"] == 7
+
+    def test_histogram_bucketing(self):
+        h = Histogram(bounds=(1, 10, 100))
+        for v in (0.5, 1, 2, 10, 11, 1000):
+            h.observe(v)
+        snap = MetricsRegistry._histogram_snapshot(h)
+        assert snap["count"] == 6
+        assert snap["total"] == pytest.approx(1024.5)
+        assert snap["buckets"] == {"le_1": 2, "le_10": 2, "le_100": 1,
+                                   "inf": 1}
+
+    def test_histogram_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(bounds=())
+        with pytest.raises(ConfigurationError):
+            Histogram(bounds=(5, 5))
+        with pytest.raises(ConfigurationError):
+            Histogram(bounds=(10, 1))
+
+    def test_histogram_reregister_same_buckets_ok(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1, 2))
+        assert reg.histogram("lat", buckets=(1, 2)) is h
+        with pytest.raises(ConfigurationError):
+            reg.histogram("lat", buckets=(1, 3))
+
+    def test_snapshot_bytes_deterministic(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("b").inc(2)
+            reg.counter("a").inc(1)
+            reg.histogram("h", buckets=(1, 2)).observe(1.5)
+            return json.dumps(reg.snapshot(), sort_keys=True)
+
+        assert build() == build()
+
+
+class TestMergeSnapshots:
+    def test_counters_add_gauges_update(self):
+        a = {"counters": {"hits": 2}, "gauges": {"size": 1},
+             "histograms": {}}
+        b = {"counters": {"hits": 3, "miss": 1}, "gauges": {"size": 9},
+             "histograms": {}}
+        merged = merge_snapshots(a, b)
+        assert merged["counters"] == {"hits": 5, "miss": 1}
+        assert merged["gauges"] == {"size": 9}
+
+    def test_histograms_add(self):
+        h1 = {"count": 2, "total": 3.0, "buckets": {"le_1": 1, "inf": 1}}
+        h2 = {"count": 1, "total": 0.5, "buckets": {"le_1": 1, "inf": 0}}
+        merged = merge_snapshots({"histograms": {"h": h1}},
+                                 {"histograms": {"h": h2}})
+        assert merged["histograms"]["h"] == {
+            "count": 3, "total": 3.5, "buckets": {"le_1": 2, "inf": 1}}
+        # Inputs are not mutated.
+        assert h1["count"] == 2 and h2["count"] == 1
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        h1 = {"count": 1, "total": 1.0, "buckets": {"le_1": 1}}
+        h2 = {"count": 1, "total": 1.0, "buckets": {"le_2": 1}}
+        with pytest.raises(ConfigurationError):
+            merge_snapshots({"histograms": {"h": h1}},
+                            {"histograms": {"h": h2}})
+
+    def test_empty_base(self):
+        snap = {"counters": {"x": 1}, "gauges": {}, "histograms": {}}
+        assert merge_snapshots({}, snap) == snap
+
+    def test_point_order_associativity(self):
+        snaps = [
+            {"counters": {"x": i}, "gauges": {"g": i}, "histograms": {}}
+            for i in range(1, 5)
+        ]
+        left = {}
+        for s in snaps:
+            left = merge_snapshots(left, s)
+        # Fold of the first three, then the fourth — same result.
+        head = {}
+        for s in snaps[:3]:
+            head = merge_snapshots(head, s)
+        assert merge_snapshots(head, snaps[3]) == left
+        assert left["counters"]["x"] == 10
+        assert left["gauges"]["g"] == 4

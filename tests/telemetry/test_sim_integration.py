@@ -1,0 +1,143 @@
+"""Instrumentation wiring: components emit iff their category is enabled.
+
+Components resolve their trace channel at construction time, so every
+test builds its simulator/system *inside* ``active(tracer)``.
+"""
+
+from repro.carousel.carousel import ObjectCarousel
+from repro.carousel.objects import CarouselFile
+from repro.core import OddCISystem
+from repro.net.broadcast import BroadcastChannel
+from repro.sim.core import Simulator
+from repro.sim.wheel import TimerWheel
+from repro.telemetry.trace import Tracer, active
+from repro.workloads import uniform_bag
+
+
+def _names(tracer, category):
+    return [ev[2] for ev in tracer.events() if ev[1] == category]
+
+
+class TestKernelChannel:
+    def test_dispatch_events_and_path_counters(self):
+        tracer = Tracer("kernel")
+        with active(tracer):
+            sim = Simulator(seed=1)
+
+            def tick():
+                pass
+
+            sim.schedule_fast(1.0, tick)       # fast path
+            sim.call_at(2.0, tick)             # fast path
+            sim.schedule_at(3.0, tick)         # handle path
+            sim.run(until=10.0)
+        snap = tracer.metrics.snapshot()["counters"]
+        assert snap["kernel.fast_path_scheduled"] == 2
+        assert snap["kernel.handle_path_scheduled"] == 1
+        dispatches = [ev for ev in tracer.events() if ev[2] == "dispatch"]
+        assert len(dispatches) == 3
+        assert all(ev[3]["fn"].endswith("tick") for ev in dispatches)
+        assert [ev[0] for ev in dispatches] == [1.0, 2.0, 3.0]
+
+    def test_kernel_channel_chains_user_trace_hook(self):
+        # A user trace callback passed at construction keeps firing
+        # alongside the telemetry dispatch hook.
+        tracer = Tracer("kernel")
+        seen = []
+        with active(tracer):
+            sim = Simulator(seed=1,
+                            trace=lambda t, cb, args: seen.append(t))
+            sim.schedule_fast(1.0, lambda: None)
+            sim.run(until=2.0)
+        assert seen == [1.0]
+        assert any(ev[2] == "dispatch" for ev in tracer.events())
+
+    def test_disabled_means_no_kernel_state(self):
+        with active(Tracer("control")):  # kernel NOT enabled
+            sim = Simulator(seed=1)
+        assert sim._ktrace is None and sim._kfast is None
+        sim2 = Simulator(seed=1)  # no tracer at all
+        assert sim2._ktrace is None and sim2._kfast is None
+
+    def test_wheel_flush_events(self):
+        tracer = Tracer("kernel")
+        with active(tracer):
+            sim = Simulator(seed=1)
+            wheel = TimerWheel(sim, 5.0, name="hb")
+            wheel.subscribe(lambda t: None)
+            wheel.subscribe(lambda t: None)
+            sim.run(until=16.0)
+        flushes = [ev for ev in tracer.events() if ev[2] == "wheel_flush"]
+        assert [ev[0] for ev in flushes] == [5.0, 10.0, 15.0]
+        assert all(ev[3] == {"wheel": "hb", "subscribers": 2}
+                   for ev in flushes)
+
+
+class TestCarouselChannel:
+    @staticmethod
+    def _build(sim, fast_forward):
+        channel = BroadcastChannel(sim, beta_bps=1e6, name="bcast")
+        files = [CarouselFile(name="a.bin", size_bits=1e5),
+                 CarouselFile(name="b.bin", size_bits=2e5)]
+        return ObjectCarousel(sim, channel, files, fast_forward=fast_forward)
+
+    def test_cycle_and_transmit_events(self):
+        tracer = Tracer("carousel")
+        with active(tracer):
+            sim = Simulator(seed=1)
+            carousel = self._build(sim, fast_forward=False)
+            sim.run(until=1.0)
+        names = _names(tracer, "carousel")
+        assert names.count("cycle_start") >= 2
+        transmits = [ev for ev in tracer.events() if ev[2] == "transmit"]
+        assert {ev[3]["file"] for ev in transmits} == {"a.bin", "b.bin"}
+        assert carousel.cycles_completed >= 2
+
+    def test_fast_forward_park_wake_replay(self):
+        tracer = Tracer("carousel")
+        with active(tracer):
+            sim = Simulator(seed=1)
+            carousel = self._build(sim, fast_forward=True)
+            sim.schedule_at(10.0, lambda: carousel.read("b.bin"))
+            sim.run(until=12.0)
+        names = _names(tracer, "carousel")
+        assert "park" in names and "wake" in names
+        wake = next(ev for ev in tracer.events() if ev[2] == "wake")
+        assert wake[3]["virtual_cycles"] >= 1
+
+
+class TestSystemChannels:
+    def test_control_pna_backend_events_in_job_cycle(self):
+        tracer = Tracer("control,pna,backend")
+        with active(tracer):
+            system = OddCISystem(seed=3, maintenance_interval_s=60.0)
+            system.add_pnas(4, heartbeat_interval_s=10.0,
+                            dve_poll_interval_s=5.0)
+            job = uniform_bag(8, image_bits=1e6, ref_seconds=5.0)
+            submission = system.provider.submit_job(job, target_size=4)
+            system.provider.run_job_to_completion(submission, limit_s=1e6)
+            # Let heartbeat ticks and a maintenance round go by.
+            system.sim.run(until=system.sim.now + 120.0)
+        control = _names(tracer, "control")
+        assert "wakeup_publish" in control
+        assert "heartbeat_batch" in control
+        assert "maintenance_round" in control
+        pna = _names(tracer, "pna")
+        assert "accept" in pna
+        backend = _names(tracer, "backend")
+        assert backend.count("dispatch") >= 8
+        assert backend.count("complete") == 8
+        assert "job_done" in backend
+        counters = tracer.metrics.snapshot()["counters"]
+        assert counters["census.heartbeats"] > 0
+        # kernel disabled: no kernel events leaked in.
+        assert not [ev for ev in tracer.events() if ev[1] == "kernel"]
+
+    def test_untraced_system_emits_nothing(self):
+        tracer = Tracer("all")
+        # Built OUTSIDE active(): constructors resolve no channels.
+        system = OddCISystem(seed=3, maintenance_interval_s=60.0)
+        system.add_pnas(2, heartbeat_interval_s=10.0)
+        with active(tracer):
+            system.sim.run(until=50.0)
+        assert tracer.events() == []
