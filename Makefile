@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test experiments bench bench-quick trace-demo
+.PHONY: test experiments bench bench-quick trace-demo faults-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -27,3 +27,10 @@ bench-quick:
 trace-demo:
 	$(PYTHON) -m repro a3 --smoke --trace=all --out /tmp/trace_demo
 	$(PYTHON) -m repro.telemetry.export /tmp/trace_demo/a3/trace.jsonl
+
+# Fault-injection smoke: the fault_sweep scenario (availability/MTTR
+# under scripted chaos) plus a stock scenario under the demo plan
+# (see DESIGN.md §10 for the fault model).
+faults-smoke:
+	$(PYTHON) -m repro fault_sweep --smoke --jobs 2
+	$(PYTHON) -m repro a3 --smoke --faults=demo

@@ -219,6 +219,8 @@ class ObjectCarousel:
         self._pending_updates: Dict[str, Optional[CarouselFile]] = {}
         self._pending_reads: List[_PendingRead] = []
         self._cycles_completed = 0
+        self._skip_cycles = 0
+        self._cycles_skipped = 0
         self._running = True
         # Fast-forward: with no reader waiting the carousel's repetitions
         # are pure clockwork — the transmit loop parks and the elapsed
@@ -313,6 +315,31 @@ class ObjectCarousel:
         self._pending_updates[name] = None
         self._wake_at_boundary()
 
+    @property
+    def cycles_skipped(self) -> int:
+        """Repetitions suppressed by :meth:`interrupt_for` so far."""
+        return self._cycles_skipped
+
+    def interrupt_for(self, cycles: int) -> None:
+        """Suppress the next ``cycles`` repetitions (head-end fault).
+
+        The gap starts at the next cycle boundary — an in-flight
+        repetition finishes, as a real carousel generator drains its
+        section buffer — and transmission resumes on the *same* cycle
+        grid ``cycles`` boundaries later, so receivers re-join exactly
+        where the timetable says the post-gap repetitions are.  Pending
+        reads survive the gap and complete at the first post-gap
+        transmission of their file.  Repeated calls extend the gap.
+        """
+        cycles = int(cycles)
+        if cycles <= 0:
+            raise CarouselError(f"cycles must be > 0, got {cycles}")
+        if not self._running:
+            raise CarouselError(f"carousel {self.name!r} is stopped")
+        self._skip_cycles += cycles
+        if self._parked and not self._wake.triggered:
+            self._wake.succeed(None)
+
     def stop(self) -> None:
         """Stop transmitting after the in-flight file completes."""
         self._running = False
@@ -377,6 +404,33 @@ class ObjectCarousel:
             self._epoch_index = 0
             self._rebuild_timetable()
             while self._running:
+                if self._skip_cycles:
+                    # Interruption gap: advance along the cycle grid
+                    # without transmitting.  The grid itself is
+                    # untouched, so post-gap instants are the same
+                    # floats a never-interrupted carousel would use for
+                    # those repetitions.
+                    if self.sim.now > self._grid_time(self._epoch_index) \
+                            + 1e-9:
+                        # A repetition is in progress (fast-forward wake
+                        # mid-cycle): it finishes before the gap starts,
+                        # exactly as the live loop's in-flight cycle
+                        # would — keeps fast_forward on/off identical.
+                        self._cycles_completed += 1
+                        self._epoch_index += 1
+                    skip = self._skip_cycles
+                    self._skip_cycles = 0
+                    self._cycles_skipped += skip
+                    resume = self._grid_time(self._epoch_index + skip)
+                    if self._trace is not None:
+                        self._trace.emit(
+                            self.sim.now, "interrupted", carousel=self.name,
+                            skipped=skip, resume=resume)
+                    self._epoch_index += skip
+                    delay = resume - self.sim.now
+                    if delay > 0:
+                        yield delay
+                    continue
                 if self._pending_updates:
                     # Content changes apply between repetitions.  The new
                     # epoch is anchored at the grid boundary — never at

@@ -7,6 +7,8 @@ Usage::
     python -m repro fig6 --jobs 4         # fan grid points out to 4 workers
     python -m repro fig6 --out artifacts  # persist records/rendering/meta
     python -m repro a3 --trace --out out  # + trace.jsonl / metrics.json
+    python -m repro fault_sweep --smoke   # availability under injected chaos
+    python -m repro a3 --faults=demo      # any experiment, faulted
     python -m repro all --smoke           # everything, reduced scale
     python -m repro bench ...             # event-tier perf harness
 
@@ -61,9 +63,18 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None, metavar="CATS",
                         help="enable telemetry: bare --trace uses the "
                              "default categories, or pass 'all' / a "
-                             "comma list (kernel,carousel,control,pna,"
-                             "backend,runner); with --out the run also "
-                             "writes trace.jsonl and metrics.json")
+                             "comma list (kernel,net,carousel,control,"
+                             "pna,backend,fault,runner); with --out the "
+                             "run also writes trace.jsonl and "
+                             "metrics.json")
+    parser.add_argument("--faults", nargs="?", const="demo",
+                        default=None, metavar="PLAN",
+                        help="inject a deterministic fault plan: bare "
+                             "--faults uses the 'demo' preset, or pass "
+                             "a preset (demo, storm, blackout) or a "
+                             "plan literal like "
+                             "'controller_crash@150,dur=90;"
+                             "churn_storm@400,mag=0.4,dur=200'")
     parser.add_argument("--verbose", "-v", action="store_true",
                         help="DEBUG-level run log on stderr")
     return parser
@@ -71,11 +82,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def run_experiment(name: str, seed: int = 0, *, jobs: int = 1,
                    smoke: bool = False, out: Optional[str] = None,
-                   trace: Union[None, bool, str] = None) -> str:
+                   trace: Union[None, bool, str] = None,
+                   faults: Union[None, str] = None) -> str:
     """Run one experiment by id; returns the rendered artifact."""
     store = ArtifactStore(out) if out else None
     runner = Runner(jobs=jobs, seed=seed, smoke=smoke, store=store,
-                    trace=trace)
+                    trace=trace, faults=faults)
     try:
         result = runner.run(name)
     except ScenarioError as exc:
@@ -127,7 +139,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         log.debug("running %s ...", name)
         text = run_experiment(name, seed=args.seed, jobs=args.jobs,
                               smoke=args.smoke, out=args.out,
-                              trace=args.trace)
+                              trace=args.trace, faults=args.faults)
         print(text)
         print()
     if args.out:

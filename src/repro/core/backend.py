@@ -10,6 +10,15 @@ switched off mid-task, message lost) puts the task back in the bag.
 Completed duplicates are deduplicated.  The makespan — the paper's key
 metric — is measured from job submission to the arrival of the last
 result at the Backend.
+
+Re-dispatch backoff (DESIGN.md §10): every time a task's lease expires
+its next lease grows by ``lease_backoff_base ** attempts`` with an
+optional deterministic jitter drawn from the backend's own RNG stream,
+so a task stuck behind a systemic fault (backend outage, partition) is
+not re-leased at a fixed cadence.  The Backend itself can
+:meth:`~Backend.crash` and :meth:`~Backend.restore`: while down it
+serves no polls and loses arriving results, and recovery rides the
+existing lease machinery — expired leases simply re-enter the bag.
 """
 
 from __future__ import annotations
@@ -95,6 +104,8 @@ class Backend:
         worst_case_slowdown: float = 25.0,
         lease_check_interval_s: float = 30.0,
         poll_interval_s: float = 15.0,
+        lease_backoff_base: float = 1.0,
+        lease_backoff_jitter: float = 0.0,
         replicate_tail: bool = False,
         max_replicas: int = 2,
         scheduling: str = "fifo",
@@ -105,6 +116,10 @@ class Backend:
             raise BackendError("worst_case_slowdown must be > 0")
         if poll_interval_s <= 0 or lease_check_interval_s <= 0:
             raise BackendError("intervals must be > 0")
+        if lease_backoff_base < 1.0:
+            raise BackendError("lease_backoff_base must be >= 1")
+        if lease_backoff_jitter < 0.0:
+            raise BackendError("lease_backoff_jitter must be >= 0")
         if max_replicas < 2:
             raise BackendError("max_replicas must be >= 2 (primary + 1)")
         if scheduling not in ("fifo", "lpt", "spt"):
@@ -119,6 +134,9 @@ class Backend:
         self.worst_case_slowdown = worst_case_slowdown
         self.poll_interval_s = poll_interval_s
         self.lease_check_interval_s = lease_check_interval_s
+        self.lease_backoff_base = lease_backoff_base
+        self.lease_backoff_jitter = lease_backoff_jitter
+        self._backoff_stream = f"backend:{backend_id}:backoff"
 
         self.replicate_tail = replicate_tail
         self.max_replicas = int(max_replicas)
@@ -143,12 +161,24 @@ class Backend:
         self.duplicates = 0
         self.requeues = 0
         self.replicas_issued = 0
+        #: task_id -> times this task's lease has expired (backoff input)
+        self._attempts: Dict[int, int] = {}
+        self.alive = True
+        self.crashes = 0
+        self.restarts = 0
         #: (instance_id, retry_after_s) -> NoWork.  At the end of a job
         #: every idle worker polls repeatedly; the replies are immutable
         #: and drawn from a tiny value set, so they are shared.
         self._nowork_cache: Dict[tuple, NoWork] = {}
         self.done_event: Event = sim.event(name=f"{backend_id}.done")
         self._trace = _telemetry_channel("backend")
+        t = self._trace
+        self._m_redispatched = \
+            t.counter("recovery.tasks_redispatched") if t else None
+        self._m_duplicates = \
+            t.counter("recovery.duplicates_suppressed") if t else None
+        self._m_restarts = t.counter("recovery.backend_restarts") if t \
+            else None
 
         router.register_component(backend_id, self._receive,
                                   receive_payload=self._receive_payload)
@@ -224,9 +254,22 @@ class Backend:
         if not is_replica:
             lease = None
             if self.lease_factor is not None:
-                lease = self.sim.now + self.lease_factor * (
+                lease_s = self.lease_factor * (
                     task.ref_seconds * self.worst_case_slowdown
                     + self.poll_interval_s)
+                attempt = self._attempts.get(task.task_id, 0)
+                if attempt:
+                    # Exponential backoff per expired lease, plus an
+                    # optional deterministic jitter so re-dispatches
+                    # desynchronise from a systemic fault's cadence.
+                    # At the default (base=1, jitter=0) this branch
+                    # never changes lease_s and draws no RNG.
+                    if self.lease_backoff_base != 1.0:
+                        lease_s *= self.lease_backoff_base ** attempt
+                    if self.lease_backoff_jitter > 0.0:
+                        lease_s *= 1.0 + self.lease_backoff_jitter * float(
+                            self.sim.rng(self._backoff_stream).random())
+                lease = self.sim.now + lease_s
             self._in_flight[task.task_id] = _Assignment(
                 task, request.pna_id, self.sim.now, lease)
             self.tasks_assigned += 1
@@ -262,7 +305,7 @@ class Backend:
 
     def _handle_result(self, result: TaskResultPayload) -> None:
         if result.task_id in self._completed:
-            self.duplicates += 1
+            self._suppress_duplicate()
             return
         assignment = self._in_flight.pop(result.task_id, None)
         if assignment is None:
@@ -273,10 +316,11 @@ class Backend:
                     del self._pending[i]
                     break
             else:
-                self.duplicates += 1
+                self._suppress_duplicate()
                 return
         self._completed[result.task_id] = self.sim.now
         self._holders.pop(result.task_id, None)
+        self._attempts.pop(result.task_id, None)
         trace = self._trace
         if trace is not None:
             trace.emit(self.sim.now, "complete", task=result.task_id,
@@ -287,6 +331,11 @@ class Backend:
                 trace.emit(self.sim.now, "job_done", job=self.job.job_id,
                            tasks=self.job.n)
             self.done_event.succeed(self.report())
+
+    def _suppress_duplicate(self) -> None:
+        self.duplicates += 1
+        if self._m_duplicates is not None:
+            self._m_duplicates.value += 1
 
     def _next_task(self) -> Optional[Task]:
         if self._pending:
@@ -313,14 +362,53 @@ class Backend:
                     assignment = self._in_flight.pop(tid)
                     self._pending.append(assignment.task)
                     self.requeues += 1
+                    self._attempts[tid] = self._attempts.get(tid, 0) + 1
                     if trace is not None:
                         trace.emit(now, "requeue", task=tid,
-                                   pna=assignment.pna_id)
+                                   pna=assignment.pna_id,
+                                   attempt=self._attempts[tid])
+                        self._m_redispatched.value += 1
         except Interrupt:
             pass
 
+    # -- crash & recovery ----------------------------------------------------
+    def crash(self) -> None:
+        """Kill the Backend: no polls served, arriving results lost.
+
+        In-flight assignments keep their leases; once restored, the
+        lease loop re-queues whatever expired during the outage — the
+        at-least-once contract needs no extra bookkeeping."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashes += 1
+        trace = self._trace
+        if trace is not None:
+            trace.emit(self.sim.now, "crash", backend=self.backend_id,
+                       in_flight=len(self._in_flight),
+                       pending=len(self._pending))
+        self.router.unregister_component(self.backend_id)
+        if self._lease_proc is not None and self._lease_proc.alive:
+            self._lease_proc.interrupt("backend crashed")
+
+    def restore(self) -> None:
+        """Restart after :meth:`crash`; task state survives (durable bag)."""
+        if self.alive:
+            return
+        self.alive = True
+        self.restarts += 1
+        self.router.register_component(self.backend_id, self._receive,
+                                       receive_payload=self._receive_payload)
+        if self.lease_factor is not None and not self.done:
+            self._lease_proc = self.sim.process(self._lease_loop())
+        trace = self._trace
+        if trace is not None:
+            trace.emit(self.sim.now, "restore", backend=self.backend_id)
+            self._m_restarts.value += 1
+
     def shutdown(self) -> None:
         """Unregister from the router and stop background processes."""
-        self.router.unregister_component(self.backend_id)
+        if self.alive:
+            self.router.unregister_component(self.backend_id)
         if self._lease_proc is not None and self._lease_proc.alive:
             self._lease_proc.interrupt("backend shutdown")

@@ -15,13 +15,37 @@ membership, and runs a maintenance loop that:
 * trims oversized instances by replying ``reset`` to heartbeats;
 * expires members whose heartbeats stopped;
 * dismantles instances whose lifetime elapsed.
+
+Crash & recovery (DESIGN.md §10)
+--------------------------------
+The Controller can :meth:`~Controller.crash` — its volatile census
+(registry, per-instance membership, pending trims) is lost and the
+component leaves the network — and later :meth:`~Controller.restore`
+from the checkpoint taken at crash time.  A checkpoint holds only
+*durable* state: the instance table (ids, specs, statuses, send
+counters), never the census, which is deliberately reconciled from
+post-restart heartbeats (the paper's consolidation already rebuilds
+membership from scratch every grace window, so recovery is the normal
+path, just from an empty registry).  While the broadcast control plane
+is unavailable, wakeups and resets are *deferred* — counted, traced
+and retried by the next maintenance round — instead of vanishing into
+a dead channel.  Mean time to recovery is measured from the first
+unresolved disruption (:meth:`~Controller.note_disruption`) to the
+first maintenance round where every live instance is back within its
+tolerance band.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from repro.errors import InstanceError, OddCIError, ProvisioningError
+from repro.errors import (
+    ControllerDownError,
+    InstanceError,
+    OddCIError,
+    ProvisioningError,
+)
 from repro.core.dve import CONTROL_PAYLOAD_BITS
 from repro.core.instance import (
     InstanceRecord,
@@ -47,11 +71,21 @@ from repro.sim.monitor import Counter, TimeSeries
 from repro.sim.process import Interrupt
 from repro.telemetry.trace import channel as _telemetry_channel
 
-__all__ = ["ControlPlane", "DirectControlPlane", "Controller"]
+__all__ = ["ControlPlane", "DirectControlPlane", "Controller",
+           "ControllerCheckpoint"]
 
 
 class ControlPlane:
     """Broadcast-medium abstraction the Controller publishes through."""
+
+    @property
+    def available(self) -> bool:
+        """Can a publish reach receivers right now?
+
+        ``False`` puts the Controller in degraded mode: control traffic
+        is deferred and retried by the maintenance loop instead of
+        being transmitted into a dead medium."""
+        return True
 
     def publish_wakeup(self, payload: WakeupPayload,
                        signature: bytes) -> None:
@@ -76,6 +110,10 @@ class DirectControlPlane(ControlPlane):
         self.channel = channel
         self.sender = sender
 
+    @property
+    def available(self) -> bool:
+        return self.channel.up
+
     def attach(self, pna) -> int:
         """Subscribe a PNA; returns the unsubscribe token."""
         def listener(msg: Message, pna=pna) -> None:
@@ -98,6 +136,20 @@ class DirectControlPlane(ControlPlane):
         self.channel.transmit(Message(
             sender=self.sender, payload=(payload, signature),
             payload_bits=CONTROL_PAYLOAD_BITS))
+
+
+@dataclass(frozen=True)
+class ControllerCheckpoint:
+    """Durable Controller state captured at crash (or on demand).
+
+    One row per instance: ``(instance_id, spec, status_value,
+    created_at, wakeups_sent, trims_sent, resets_sent)``.  The census
+    (registry, members, pending trims) is volatile by design and is
+    reconciled from post-restart heartbeats instead of being persisted.
+    """
+
+    time: float
+    instances: Tuple[Tuple[str, InstanceSpec, str, float, int, int, int], ...]
 
 
 class Controller:
@@ -132,8 +184,19 @@ class Controller:
         self.registry: Dict[str, Tuple[float, PNAState, Optional[str]]] = {}
         self.instances: Dict[str, InstanceRecord] = {}
         self._pending_trims: Dict[str, int] = {}
+        self._pending_resets: Set[str] = set()
         self.counters = Counter()
         self.size_history: Dict[str, TimeSeries] = {}
+
+        # Crash/recovery state (DESIGN.md §10).
+        self.alive = True
+        self.mttr_history: List[float] = []
+        self._checkpoint: Optional[ControllerCheckpoint] = None
+        self._crashed_at: Optional[float] = None
+        self._recovering_since: Optional[float] = None
+        self._disruption_manifested = False
+        self._healthy_rounds = 0
+        self._corrupt_signatures = False
 
         # Telemetry (``None`` when tracing is off — hot paths guard on
         # a single truthiness check).  The ``census.*`` family counts
@@ -149,22 +212,32 @@ class Controller:
             self._m_trim = None
             self._m_batches = None
             self._m_batch_size = None
+            self._m_mttr = None
+            self._m_deferred = None
         else:
             self._m_heartbeats = trace.counter("census.heartbeats")
             self._m_stale = trace.counter("census.stale_resets")
             self._m_trim = trace.counter("census.trim_resets")
             self._m_batches = trace.counter("delivery.batches")
             self._m_batch_size = trace.histogram("delivery.batch_size")
+            self._m_mttr = trace.histogram("recovery.mttr_s")
+            self._m_deferred = trace.counter("recovery.wakeups_deferred")
 
         router.register_component(controller_id, self._receive,
                                   receive_batch=self._receive_batch,
                                   receive_payload=self._receive_payload)
         self._maintenance_proc = sim.process(self._maintenance_loop())
 
+    def _require_alive(self) -> None:
+        if not self.alive:
+            raise ControllerDownError(
+                f"controller {self.controller_id!r} is down")
+
     # -- provider-facing API ---------------------------------------------------
     def create_instance(self, spec: InstanceSpec,
                         instance_id: Optional[str] = None) -> InstanceRecord:
         """Trigger the wakeup process for a new instance."""
+        self._require_alive()
         instance_id = instance_id or new_instance_id()
         if instance_id in self.instances:
             raise ProvisioningError(f"instance {instance_id!r} already exists")
@@ -176,6 +249,7 @@ class Controller:
 
     def resize_instance(self, instance_id: str, new_target: int) -> None:
         """Adjust an instance's target size (grow or shrink)."""
+        self._require_alive()
         record = self._live_instance(instance_id)
         if new_target <= 0:
             raise InstanceError(f"new_target must be > 0, got {new_target}")
@@ -187,16 +261,32 @@ class Controller:
         self._rebalance(record)
 
     def destroy_instance(self, instance_id: str) -> None:
-        """Dismantle an instance: broadcast a reset for it."""
+        """Dismantle an instance: broadcast a reset for it.
+
+        With the control plane unavailable the reset is deferred: the
+        instance still flips to DISMANTLING immediately (stale
+        heartbeats get per-PNA resets) and the broadcast goes out at
+        the first maintenance round that finds the plane back up."""
+        self._require_alive()
         record = self._live_instance(instance_id)
         record.status = InstanceStatus.DISMANTLING
-        payload = ResetPayload(instance_id=instance_id)
+        if not self.control_plane.available:
+            self._pending_resets.add(instance_id)
+            self.counters.incr("resets_deferred")
+            trace = self._trace
+            if trace is not None:
+                trace.emit(self.sim.now, "reset_deferred",
+                           instance=instance_id)
+            return
+        self._publish_reset(record)
+
+    def _publish_reset(self, record: InstanceRecord) -> None:
+        payload = ResetPayload(instance_id=record.instance_id)
         trace = self._trace
         if trace is not None:
-            trace.emit(self.sim.now, "reset_publish", instance=instance_id,
-                       size=record.size)
-        self.control_plane.publish_reset(
-            payload, sign_control(self.key, payload))
+            trace.emit(self.sim.now, "reset_publish",
+                       instance=record.instance_id, size=record.size)
+        self.control_plane.publish_reset(payload, self._sign(payload))
         record.resets_sent += 1
         self.counters.incr("resets_broadcast")
 
@@ -231,8 +321,41 @@ class Controller:
                      for r in self.instances.values()] or [60.0]
         return self.heartbeat_grace_factor * max(intervals)
 
+    # -- signing ---------------------------------------------------------------
+    @property
+    def corrupting_signatures(self) -> bool:
+        """True while the fault injector is corrupting control tags."""
+        return self._corrupt_signatures
+
+    def corrupt_signatures(self, corrupt: bool) -> None:
+        """Toggle signature corruption (``signature_corruption`` fault).
+
+        While enabled every published control message carries a tag
+        with its first byte flipped, so PNAs must reject it through
+        :func:`~repro.core.messages.verify_control`."""
+        self._corrupt_signatures = bool(corrupt)
+
+    def _sign(self, payload) -> bytes:
+        tag = sign_control(self.key, payload)
+        if self._corrupt_signatures:
+            self.counters.incr("signatures_corrupted")
+            return bytes([tag[0] ^ 0xFF]) + tag[1:]
+        return tag
+
     # -- wakeup / recomposition -----------------------------------------------------
     def _send_wakeup(self, record: InstanceRecord) -> None:
+        if not self.control_plane.available:
+            # Degraded mode: the broadcast medium is down.  Defer — the
+            # next maintenance round re-evaluates the deficit and
+            # retries once the plane is back.
+            self.counters.incr("wakeups_deferred")
+            trace = self._trace
+            if trace is not None:
+                trace.emit(self.sim.now, "wakeup_deferred",
+                           instance=record.instance_id,
+                           deficit=record.deficit)
+                self._m_deferred.value += 1
+            return
         deficit = max(record.deficit, 1)
         probability = self.probability_policy.probability(
             deficit, self.idle_estimate())
@@ -250,8 +373,7 @@ class Controller:
             trace.emit(self.sim.now, "wakeup_publish",
                        instance=record.instance_id, deficit=deficit,
                        probability=probability)
-        self.control_plane.publish_wakeup(
-            payload, sign_control(self.key, payload))
+        self.control_plane.publish_wakeup(payload, self._sign(payload))
         record.wakeups_sent += 1
         self.counters.incr("wakeups_broadcast")
 
@@ -335,6 +457,13 @@ class Controller:
             pass
 
     def _maintenance_round(self) -> None:
+        if not self.alive:
+            # A crash landing on the same instant as a maintenance tick:
+            # the interrupt only takes effect at the process's next
+            # resume, so the already-dequeued round would otherwise run
+            # against the freshly-cleared census and broadcast a bogus
+            # deficit wakeup from a dead Controller.
+            return
         now = self.sim.now
         trace = self._trace
         if trace is not None:
@@ -352,6 +481,11 @@ class Controller:
             self.size_history[record.instance_id].record(now, record.size)
 
             if record.status is InstanceStatus.DISMANTLING:
+                if (record.instance_id in self._pending_resets
+                        and self.control_plane.available):
+                    # A reset deferred during a broadcast outage.
+                    self._pending_resets.discard(record.instance_id)
+                    self._publish_reset(record)
                 if record.size == 0:
                     record.status = InstanceStatus.DESTROYED
                 continue
@@ -362,6 +496,55 @@ class Controller:
                 continue
 
             self._rebalance(record)
+
+        if self._recovering_since is not None:
+            self._check_recovered(now)
+
+    #: Healthy maintenance rounds after which an un-manifested
+    #: disruption is abandoned (it never dented the census, e.g. a storm
+    #: that only hit idle nodes): no MTTR sample is recorded for it.
+    _GRACE_ROUNDS = 3
+
+    def _check_recovered(self, now: float) -> None:
+        """Close the MTTR window once every live instance is healthy.
+
+        Damage shows up in the census with a lag (membership expires
+        only after missed heartbeats), so the window may only close
+        after the disruption *manifested* — a round that actually saw a
+        live instance below its tolerance floor.  Otherwise the clock
+        would close at the first round after injection, reporting a
+        zero MTTR for an outage the Controller had not even noticed.
+        """
+        degraded = False
+        for record in self.instances.values():
+            if record.status in (InstanceStatus.DISMANTLING,
+                                 InstanceStatus.DESTROYED):
+                continue
+            floor = record.spec.target_size \
+                - record.spec.size_tolerance * record.spec.target_size
+            if record.size < floor:
+                degraded = True
+                break
+        if degraded:
+            self._disruption_manifested = True
+            self._healthy_rounds = 0
+            return
+        if not self._disruption_manifested:
+            self._healthy_rounds += 1
+            if self._healthy_rounds >= self._GRACE_ROUNDS:
+                self._recovering_since = None
+                self._healthy_rounds = 0
+            return
+        mttr = now - self._recovering_since
+        self._recovering_since = None
+        self._disruption_manifested = False
+        self._healthy_rounds = 0
+        self.mttr_history.append(mttr)
+        self.counters.incr("recoveries")
+        trace = self._trace
+        if trace is not None:
+            trace.emit(now, "recovered", mttr_s=mttr)
+            self._m_mttr.observe(mttr)
 
     def _rebalance(self, record: InstanceRecord) -> None:
         band = record.spec.size_tolerance * record.spec.target_size
@@ -383,6 +566,121 @@ class Controller:
         else:
             self._pending_trims.pop(record.instance_id, None)
             record.status = InstanceStatus.ACTIVE
+
+    # -- crash & recovery ------------------------------------------------------
+    def note_disruption(self) -> None:
+        """Open (or keep open) the recovery clock.
+
+        The fault injector calls this when a fault that degrades
+        instances without killing the Controller fires (churn storm,
+        partition, carousel gap); :meth:`crash` opens it implicitly.
+        The clock closes at the first maintenance round where every
+        live instance is back within tolerance — that interval is the
+        reported MTTR."""
+        if self.alive and self._recovering_since is None:
+            self._recovering_since = self.sim.now
+            self._disruption_manifested = False
+            self._healthy_rounds = 0
+
+    def checkpoint(self) -> ControllerCheckpoint:
+        """Snapshot the durable state (see :class:`ControllerCheckpoint`)."""
+        rows = tuple(
+            (r.instance_id, r.spec, r.status.value, r.created_at,
+             r.wakeups_sent, r.trims_sent, r.resets_sent)
+            for r in self.instances.values())
+        return ControllerCheckpoint(time=self.sim.now, instances=rows)
+
+    def crash(self) -> None:
+        """Kill the Controller: volatile census lost, network presence gone.
+
+        A checkpoint of the durable state is taken first (the paper's
+        Controller is a provider-operated server; persisting the small
+        instance table is the realistic assumption — persisting the
+        ever-changing census is not)."""
+        if not self.alive:
+            return
+        now = self.sim.now
+        self._checkpoint = self.checkpoint()
+        self._crashed_at = now
+        self.alive = False
+        self.counters.incr("crashes")
+        trace = self._trace
+        if trace is not None:
+            trace.emit(now, "crash", instances=len(self.instances),
+                       registry=len(self.registry))
+        # Volatile state dies with the process.
+        self.registry.clear()
+        self._pending_trims.clear()
+        self._pending_resets.clear()
+        for record in self.instances.values():
+            record.members.clear()
+            if record.status not in (InstanceStatus.DISMANTLING,
+                                     InstanceStatus.DESTROYED):
+                # The census reads zero while down — availability
+                # integrates this as unavailable time.
+                self.size_history[record.instance_id].record(now, 0)
+        if self._maintenance_proc.alive:
+            self._maintenance_proc.interrupt("controller crashed")
+        self.router.unregister_component(self.controller_id)
+
+    def restore(self, checkpoint: Optional[ControllerCheckpoint] = None
+                ) -> None:
+        """Restart from ``checkpoint`` (default: the one taken at crash).
+
+        Instance records are rebuilt — identity-preserving, so Provider
+        references stay valid — with empty membership; formerly ACTIVE
+        instances come back DEGRADED until post-restart heartbeats
+        reconcile the census.  DISMANTLING instances get their reset
+        re-broadcast (receivers may have missed the original)."""
+        if self.alive:
+            raise OddCIError(
+                f"controller {self.controller_id!r} is not crashed")
+        cp = checkpoint if checkpoint is not None else self._checkpoint
+        if cp is None:
+            raise OddCIError("no checkpoint to restore from")
+        now = self.sim.now
+        restored: Dict[str, InstanceRecord] = {}
+        for (iid, spec, status, created_at, wakeups, trims, resets) in \
+                cp.instances:
+            record = self.instances.get(iid)
+            if record is None:
+                record = InstanceRecord(iid, spec, created_at)
+            record.spec = spec
+            record.created_at = created_at
+            record.members.clear()
+            record.wakeups_sent = wakeups
+            record.trims_sent = trims
+            record.resets_sent = resets
+            record.status = InstanceStatus(status)
+            if record.status is InstanceStatus.ACTIVE:
+                record.status = InstanceStatus.DEGRADED
+            elif record.status is InstanceStatus.DISMANTLING:
+                self._pending_resets.add(iid)
+            restored[iid] = record
+            if iid not in self.size_history:
+                self.size_history[iid] = TimeSeries(f"size:{iid}")
+        self.instances = restored
+        self.registry.clear()
+        self._pending_trims.clear()
+        self.alive = True
+        self.router.register_component(
+            self.controller_id, self._receive,
+            receive_batch=self._receive_batch,
+            receive_payload=self._receive_payload)
+        self._maintenance_proc = self.sim.process(self._maintenance_loop())
+        # MTTR counts from the moment of the crash, not the restart.  A
+        # crash is a manifest disruption by definition (the API was
+        # down), so the recovery clock never needs the grace window.
+        if self._recovering_since is None and self._crashed_at is not None:
+            self._recovering_since = self._crashed_at
+        self._disruption_manifested = True
+        self._healthy_rounds = 0
+        self.counters.incr("restores")
+        trace = self._trace
+        if trace is not None:
+            down = now - self._crashed_at if self._crashed_at is not None \
+                else 0.0
+            trace.emit(now, "restore", instances=len(restored), down_s=down)
 
     def shutdown(self) -> None:
         """Stop the maintenance loop and unregister."""

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.errors import ProvisioningError
+from repro.errors import ControllerDownError, ProvisioningError
 from repro.core.backend import Backend, JobReport
 from repro.core.controller import Controller
 from repro.core.instance import InstanceRecord, InstanceSpec, InstanceStatus
@@ -47,6 +47,10 @@ class Provider:
         self.sim = sim
         self.controller = controller
         self._submissions: Dict[str, Submission] = {}
+
+    def backends(self) -> list:
+        """Backends of every submission (fault-injection target set)."""
+        return [s.backend for s in self._submissions.values()]
 
     # -- raw instance API -----------------------------------------------------
     def request_instance(self, spec: InstanceSpec) -> InstanceRecord:
@@ -130,7 +134,13 @@ class Provider:
         if record.status in (InstanceStatus.DISMANTLING,
                              InstanceStatus.DESTROYED):
             return
-        self.release(instance_id)
+        try:
+            self.release(instance_id)
+        except ControllerDownError:
+            # Job finished while the Controller was crashed: leave the
+            # instance be — the lifetime mechanism (or an explicit
+            # release after restore) reaps it.
+            pass
 
     def run_job_to_completion(self, submission: Submission,
                               limit_s: float = 1e9) -> JobReport:

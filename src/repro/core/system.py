@@ -17,6 +17,7 @@ from repro.core.network import Router
 from repro.core.pna import PNA
 from repro.core.policies import ProbabilityPolicy
 from repro.core.provider import Provider
+from repro.faults import FaultInjector, FaultTargets, current_plan
 from repro.net.broadcast import BroadcastChannel
 from repro.net.crypto import KeyRegistry
 from repro.net.link import DuplexChannel
@@ -65,6 +66,18 @@ class OddCISystem:
             maintenance_interval_s=maintenance_interval_s)
         self.provider = Provider(self.sim, self.controller)
         self.pnas: List[PNA] = []
+        # Ambient fault plan (runner's --faults, or active_plan()): wire
+        # the injector against this deployment's components.  None when
+        # faults are disabled — zero scheduling, zero RNG draws.
+        self.fault_injector: Optional[FaultInjector] = None
+        plan = current_plan()
+        if plan is not None and plan.events:
+            self.fault_injector = FaultInjector(
+                self.sim, plan,
+                FaultTargets(controller=self.controller,
+                             backends=self.provider.backends,
+                             broadcast=self.broadcast,
+                             nodes=lambda: list(self.pnas)))
 
     def add_pna(
         self,

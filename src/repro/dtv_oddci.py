@@ -39,6 +39,7 @@ from repro.dtv.ait import (
 from repro.dtv.receiver import SetTopBox
 from repro.dtv.transport import Multiplex, Service
 from repro.dtv.xlet import Xlet
+from repro.faults import FaultInjector, FaultTargets, current_plan
 from repro.net.crypto import KeyRegistry
 from repro.net.link import DuplexChannel
 from repro.net.message import bits_from_bytes
@@ -266,6 +267,18 @@ class OddCIDTVSystem:
             maintenance_interval_s=maintenance_interval_s)
         self.provider = Provider(self.sim, self.controller)
         self.boxes: List[SetTopBox] = []
+        # Ambient fault plan: carousel faults hit the real DSM-CC
+        # carousel; storms hit the PNA cores behind the STBs.
+        self.fault_injector: Optional[FaultInjector] = None
+        plan = current_plan()
+        if plan is not None and plan.events:
+            self.fault_injector = FaultInjector(
+                self.sim, plan,
+                FaultTargets(controller=self.controller,
+                             backends=self.provider.backends,
+                             broadcast=self.control_plane.carousel.channel,
+                             carousel=self.control_plane.carousel,
+                             nodes=lambda: list(self._pna_of_stb.values())))
 
     # -- xlet factory (metadata of pna.bin) -------------------------------------
     def _make_xlet(self, sim: Simulator, stb: SetTopBox) -> PNAXlet:
@@ -372,6 +385,10 @@ class FanoutControlPlane(ControlPlane):
             raise ConfigurationError("fan-out needs at least one plane")
         self.planes = list(planes)
 
+    @property
+    def available(self) -> bool:
+        return any(plane.available for plane in self.planes)
+
     def publish_wakeup(self, payload: WakeupPayload,
                        signature: bytes) -> None:
         for plane in self.planes:
@@ -439,6 +456,18 @@ class MultiChannelOddCIDTVSystem:
             maintenance_interval_s=maintenance_interval_s)
         self.provider = Provider(self.sim, self.controller)
         self.boxes: List[SetTopBox] = []
+        # Carousel faults target the primary channel's carousel; storms
+        # span the whole fleet regardless of channel.
+        self.fault_injector: Optional[FaultInjector] = None
+        plan = current_plan()
+        if plan is not None and plan.events:
+            self.fault_injector = FaultInjector(
+                self.sim, plan,
+                FaultTargets(controller=self.controller,
+                             backends=self.provider.backends,
+                             broadcast=planes[0].carousel.channel,
+                             carousel=planes[0].carousel,
+                             nodes=lambda: list(self._pna_of_stb.values())))
 
     def _make_xlet(self, sim: Simulator, stb: SetTopBox) -> PNAXlet:
         pna = self._pna_of_stb.get(stb.stb_id)

@@ -2,6 +2,45 @@
 
 All library errors derive from :class:`ReproError` so callers can catch a
 single base class.  Subsystems raise the most specific subclass available.
+
+Hierarchy::
+
+    ReproError
+    ├── SimulationError
+    │   ├── SchedulingError
+    │   ├── CancelledError
+    │   ├── ProcessError
+    │   └── ResourceError
+    ├── NetworkError
+    │   ├── LinkDownError          (also FaultError)
+    │   ├── MessageTooLargeError
+    │   └── SignatureError         (also FaultError)
+    ├── CarouselError
+    │   └── FileNotInCarouselError
+    ├── DTVError
+    │   ├── XletStateError
+    │   └── TuningError
+    ├── OddCIError
+    │   ├── InstanceError
+    │   ├── ProvisioningError
+    │   └── FaultError
+    │       ├── BackendError
+    │       ├── ControllerDownError
+    │       └── FaultPlanError
+    ├── WorkloadError
+    ├── BaselineError
+    ├── AnalysisError
+    ├── ScenarioError
+    └── ConfigurationError
+
+Every exception raised on a *fault path* — a link refusing a transfer,
+a control message failing signature verification, a backend scheduling
+failure, a crashed controller rejecting API calls — participates in the
+:class:`FaultError` branch of :class:`OddCIError`, so recovery code and
+tests can catch "anything a fault plan can provoke" with one handler.
+:class:`LinkDownError` and :class:`SignatureError` keep
+:class:`NetworkError` as their primary base (existing ``except
+NetworkError`` sites keep working) and mix :class:`FaultError` in.
 """
 
 from __future__ import annotations
@@ -35,7 +74,19 @@ class NetworkError(ReproError):
     """Base class for the communication substrate."""
 
 
-class LinkDownError(NetworkError):
+class OddCIError(ReproError):
+    """Base class for the OddCI core architecture."""
+
+
+class FaultError(OddCIError):
+    """Common branch for every error raised on a fault path.
+
+    Catching ``FaultError`` covers link partitions, signature
+    verification failures, backend scheduling errors, crashed-component
+    API misuse and malformed fault plans in one handler."""
+
+
+class LinkDownError(NetworkError, FaultError):
     """A transfer was attempted on a link that is down."""
 
 
@@ -43,7 +94,7 @@ class MessageTooLargeError(NetworkError):
     """A message exceeds the maximum transfer unit of its channel."""
 
 
-class SignatureError(NetworkError):
+class SignatureError(NetworkError, FaultError):
     """A broadcast control message failed signature verification."""
 
 
@@ -67,10 +118,6 @@ class TuningError(DTVError):
     """A receiver attempted to tune to an unknown service/channel."""
 
 
-class OddCIError(ReproError):
-    """Base class for the OddCI core architecture."""
-
-
 class InstanceError(OddCIError):
     """Invalid operation on an OddCI instance (unknown id, bad state...)."""
 
@@ -79,8 +126,16 @@ class ProvisioningError(OddCIError):
     """The provider could not satisfy an instance creation request."""
 
 
-class BackendError(OddCIError):
+class BackendError(FaultError):
     """Task scheduling / result collection failure in the backend."""
+
+
+class ControllerDownError(FaultError):
+    """A provider-facing Controller API was called while it is crashed."""
+
+
+class FaultPlanError(FaultError):
+    """Malformed fault plan, or a plan the target system cannot host."""
 
 
 class WorkloadError(ReproError):

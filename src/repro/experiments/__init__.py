@@ -10,6 +10,7 @@
 | F7 | Figure 7  | :func:`~repro.experiments.fig7.run_fig7` |
 | A1–A6 | ablations | :mod:`~repro.experiments.ablations` |
 | S  | scalability | :func:`~repro.experiments.scalability.run_scalability` |
+| FS | fault sweep | :func:`~repro.experiments.fault_sweep.run_fault_sweep` |
 
 Every driver is decomposed into a *per-point* function (one grid point
 → one result record) and registered as a
@@ -36,6 +37,13 @@ from repro.experiments.ablations import (
     run_plane_comparison,
     run_probability_policies,
     run_replication_ablation,
+)
+from repro.experiments.fault_sweep import (
+    fault_plan_for_intensity,
+    finalize_fault_sweep,
+    point_fault_sweep,
+    render_fault_sweep,
+    run_fault_sweep,
 )
 from repro.experiments.fig6 import point_fig6, render_fig6, run_fig6
 from repro.experiments.fig7 import point_fig7, render_fig7, run_fig7
@@ -82,4 +90,6 @@ __all__ = [
     "point_replication", "point_plane_comparison",
     "render_ablation",
     "run_scalability", "render_scalability", "point_scalability",
+    "run_fault_sweep", "render_fault_sweep", "point_fault_sweep",
+    "finalize_fault_sweep", "fault_plan_for_intensity",
 ]

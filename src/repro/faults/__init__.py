@@ -1,0 +1,35 @@
+"""Deterministic fault injection: plans, the injector, and availability.
+
+See :mod:`repro.faults.plan` for the plan model and DSL,
+:mod:`repro.faults.injector` for how plans become kernel events, and
+DESIGN.md §10 for the fault taxonomy and recovery contract.
+"""
+
+from repro.faults.availability import availability_fraction
+from repro.faults.injector import FaultInjector, FaultTargets
+from repro.faults.plan import (
+    KINDS,
+    PRESETS,
+    FaultEvent,
+    FaultPlan,
+    active_plan,
+    current_plan,
+    install_plan,
+    parse_fault_plan,
+    uninstall_plan,
+)
+
+__all__ = [
+    "KINDS",
+    "PRESETS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultTargets",
+    "availability_fraction",
+    "active_plan",
+    "current_plan",
+    "install_plan",
+    "parse_fault_plan",
+    "uninstall_plan",
+]

@@ -1,0 +1,51 @@
+"""Availability metric over an instance-size time series.
+
+The paper's service-level claim is "the instance stays at its target
+size"; under a fault plan the honest summary is the *fraction of time*
+that held.  :func:`availability_fraction` integrates a step-function
+size series (``Controller.size_history``) against the tolerance band
+and normalises by the observation window, so 1.0 means the instance
+never left the band and 0.6 means it spent 40% of the window degraded
+(including controller downtime, when the census reads zero).
+"""
+
+from __future__ import annotations
+
+from repro.errors import AnalysisError
+
+__all__ = ["availability_fraction"]
+
+
+def availability_fraction(series, target_size: int, *,
+                          size_tolerance: float = 0.1,
+                          start: float = 0.0, until: float) -> float:
+    """Fraction of ``[start, until]`` the size stayed within tolerance.
+
+    ``series`` is a :class:`~repro.sim.monitor.TimeSeries` of size
+    samples with step semantics.  A sample counts as available when
+    ``value >= target_size * (1 - size_tolerance)`` — only the lower
+    edge matters for availability; excess capacity still serves.  Time
+    before the first sample counts as unavailable (the instance is
+    still provisioning)."""
+    if until <= start:
+        raise AnalysisError(
+            f"availability window is empty: start={start}, until={until}")
+    floor = target_size * (1.0 - size_tolerance)
+    times = list(series.times)
+    values = list(series.values)
+    # Step value in force at the start of the window (unavailable if the
+    # first sample is still in the future).
+    index = 0
+    current = 0.0
+    while index < len(times) and times[index] <= start:
+        current = 1.0 if values[index] >= floor else 0.0
+        index += 1
+    available = 0.0
+    previous = start
+    while index < len(times) and times[index] < until:
+        available += current * (times[index] - previous)
+        previous = times[index]
+        current = 1.0 if values[index] >= floor else 0.0
+        index += 1
+    available += current * (until - previous)
+    return available / (until - start)

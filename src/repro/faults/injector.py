@@ -1,0 +1,291 @@
+"""Turns a :class:`~repro.faults.plan.FaultPlan` into DES-kernel events.
+
+The injector is deliberately duck-typed: it manipulates whatever the
+host system hands it through :class:`FaultTargets` (a controller with
+``crash()``/``restore()``, callables yielding backends and nodes, a
+broadcast channel with ``set_up()``, an optional carousel with
+``interrupt_for()``) and never imports the core package, so both the
+generic :class:`~repro.core.system.OddCISystem` and the DTV-bound
+systems wire it the same way.
+
+Determinism
+-----------
+All randomness — jittered fire times, victim selection for partitions
+and churn storms — comes from the dedicated ``sim.rng("faults")``
+stream.  Jitters are resolved once, at construction, in plan order;
+victim draws happen at fire time, and fire order is itself
+deterministic (kernel time plus schedule order), so the whole chaos
+timeline replays byte-identically for any ``--jobs`` count.  Systems
+built *without* a plan never touch the stream, so enabling faults
+cannot perturb an unrelated run's RNG state — and an **empty** plan
+schedules nothing and draws nothing, keeping its artifacts
+byte-identical to a run with faults disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import FaultPlanError
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.telemetry import trace as telemetry
+
+__all__ = ["FaultTargets", "FaultInjector"]
+
+
+class FaultTargets:
+    """What the injector is allowed to break.
+
+    ``backends``, ``nodes`` and ``links`` are zero-argument callables
+    resolved at fire time, because fleets grow after construction
+    (``add_receivers``, ``submit_job``).  ``links`` defaults to the
+    node uplinks."""
+
+    def __init__(self, *, controller=None,
+                 backends: Optional[Callable[[], Sequence]] = None,
+                 broadcast=None, carousel=None,
+                 nodes: Optional[Callable[[], Sequence]] = None,
+                 links: Optional[Callable[[], Sequence]] = None) -> None:
+        self.controller = controller
+        self.backends = backends if backends is not None else (lambda: [])
+        self.broadcast = broadcast
+        self.carousel = carousel
+        self.nodes = nodes if nodes is not None else (lambda: [])
+        self.links = links if links is not None else self._node_links
+
+    def _node_links(self) -> List:
+        return [node.channel for node in self.nodes()
+                if getattr(node, "channel", None) is not None]
+
+
+#: targets attribute(s) an event kind needs; checked at construction so
+#: an unsupported plan fails fast instead of mid-run.
+_REQUIREMENTS = {
+    "controller_crash": ("controller",),
+    "signature_corruption": ("controller",),
+    "broadcast_outage": ("broadcast",),
+    # carousel_interrupt degrades to a broadcast outage when the host
+    # system has no carousel, so either target satisfies it.
+    "carousel_interrupt": ("carousel", "broadcast"),
+    # backend/node/link kinds resolve their victims lazily via
+    # callables that are always present.
+    "backend_crash": (),
+    "link_down": (),
+    "link_flap": (),
+    "churn_storm": (),
+}
+
+
+class FaultInjector:
+    """Schedules a plan's events on the kernel and fires them.
+
+    Construction must happen before sim time reaches the earliest
+    (jittered) event; systems build their injector in ``__init__``, at
+    ``sim.now == 0``, which always satisfies this."""
+
+    def __init__(self, sim, plan: FaultPlan, targets: FaultTargets,
+                 *, rng_stream: str = "faults") -> None:
+        self.sim = sim
+        self.plan = plan
+        self.targets = targets
+        self.fired: List[tuple] = []
+        self._trace = telemetry.channel("fault")
+        t = self._trace
+        self._m_injected = t.counter("fault.injected") if t else None
+        self._m_restored = t.counter("fault.restored") if t else None
+        rng = sim.rng(rng_stream) if plan.events else None
+        self._schedule(plan, rng)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _schedule(self, plan: FaultPlan, rng) -> None:
+        for ev in plan.events:
+            needs = _REQUIREMENTS[ev.kind]
+            if needs and not any(
+                    getattr(self.targets, attr) is not None for attr in needs):
+                raise FaultPlanError(
+                    f"fault {ev.describe()!r} needs a "
+                    f"{' or '.join(needs)} target, none available")
+            time = ev.time
+            if ev.jitter_s > 0.0:
+                time = time + ev.jitter_s * float(rng.random())
+            if time < self.sim.now:
+                raise FaultPlanError(
+                    f"fault {ev.describe()!r} fires at t={time:g}, before "
+                    f"injector construction at t={self.sim.now:g}")
+            self.sim.call_at(time, self._fire, ev)
+
+    # -- firing ------------------------------------------------------------
+
+    def _fire(self, ev: FaultEvent) -> None:
+        self.fired.append((self.sim.now, ev.kind))
+        t = self._trace
+        if t is not None:
+            t.emit(self.sim.now, "inject", kind=ev.kind,
+                   duration_s=ev.duration_s, magnitude=ev.magnitude,
+                   target=ev.target)
+            self._m_injected.inc()
+        getattr(self, f"_fire_{ev.kind}")(ev)
+
+    def _restored(self, kind: str, **fields) -> None:
+        t = self._trace
+        if t is not None:
+            t.emit(self.sim.now, "restore", kind=kind, **fields)
+            self._m_restored.inc()
+
+    def _note_disruption(self) -> None:
+        controller = self.targets.controller
+        if controller is not None:
+            controller.note_disruption()
+
+    # Each _fire_<kind> applies the fault and schedules its restore.
+
+    def _fire_controller_crash(self, ev: FaultEvent) -> None:
+        controller = self.targets.controller
+        if not controller.alive:
+            return
+        controller.crash()
+        if ev.duration_s > 0.0:
+            self.sim.call_at(self.sim.now + ev.duration_s,
+                             self._restore_controller)
+
+    def _restore_controller(self) -> None:
+        controller = self.targets.controller
+        if not controller.alive:
+            controller.restore()
+            self._restored("controller_crash")
+
+    def _fire_backend_crash(self, ev: FaultEvent) -> None:
+        victims = [b for b in self.targets.backends()
+                   if (not ev.target or b.backend_id == ev.target) and b.alive]
+        for backend in victims:
+            backend.crash()
+        if ev.duration_s > 0.0 and victims:
+            ids = tuple(b.backend_id for b in victims)
+            self.sim.call_at(self.sim.now + ev.duration_s,
+                             self._restore_backends, ids)
+
+    def _restore_backends(self, ids) -> None:
+        for backend in self.targets.backends():
+            if backend.backend_id in ids and not backend.alive:
+                backend.restore()
+        self._restored("backend_crash", count=len(ids))
+
+    def _pick_links(self, ev: FaultEvent, rng) -> List:
+        links = list(self.targets.links())
+        if ev.target:
+            links = [ln for ln in links if ln.name == ev.target]
+        if not links:
+            return []
+        if 0.0 < ev.magnitude < 1.0 and ev.kind == "link_down":
+            k = max(1, int(round(ev.magnitude * len(links))))
+            idx = sorted(int(i) for i in
+                         rng.choice(len(links), size=k, replace=False))
+            links = [links[i] for i in idx]
+        return links
+
+    def _fire_link_down(self, ev: FaultEvent) -> None:
+        rng = self.sim.rng("faults")
+        victims = self._pick_links(ev, rng)
+        for link in victims:
+            link.set_up(False)
+        self._note_disruption()
+        if ev.duration_s > 0.0 and victims:
+            names = tuple(ln.name for ln in victims)
+            self.sim.call_at(self.sim.now + ev.duration_s,
+                             self._restore_links, names)
+
+    def _restore_links(self, names) -> None:
+        for link in self.targets.links():
+            if link.name in names and not link.up:
+                link.set_up(True)
+        self._restored("link_down", count=len(names))
+
+    def _fire_link_flap(self, ev: FaultEvent) -> None:
+        # magnitude = number of down/up cycles; each phase duration_s long.
+        flaps = max(1, int(ev.magnitude))
+        phase = ev.duration_s if ev.duration_s > 0.0 else 1.0
+        rng = self.sim.rng("faults")
+        victims = self._pick_links(ev, rng)
+        names = tuple(ln.name for ln in victims)
+        for link in victims:
+            link.set_up(False)
+        self._note_disruption()
+        for i in range(flaps):
+            up_at = self.sim.now + (2 * i + 1) * phase
+            self.sim.call_at(up_at, self._restore_links, names)
+            if i + 1 < flaps:
+                self.sim.call_at(self.sim.now + (2 * i + 2) * phase,
+                                 self._flap_down, names)
+
+    def _flap_down(self, names) -> None:
+        for link in self.targets.links():
+            if link.name in names and link.up:
+                link.set_up(False)
+
+    def _fire_broadcast_outage(self, ev: FaultEvent) -> None:
+        broadcast = self.targets.broadcast
+        broadcast.set_up(False)
+        self._note_disruption()
+        if ev.duration_s > 0.0:
+            self.sim.call_at(self.sim.now + ev.duration_s,
+                             self._restore_broadcast)
+
+    def _restore_broadcast(self) -> None:
+        broadcast = self.targets.broadcast
+        if not broadcast.up:
+            broadcast.set_up(True)
+            self._restored("broadcast_outage")
+
+    def _fire_carousel_interrupt(self, ev: FaultEvent) -> None:
+        carousel = self.targets.carousel
+        if carousel is None:
+            # No carousel on this system: degrade to a broadcast outage
+            # so the same plan stays portable across system flavours.
+            self._fire_broadcast_outage(ev)
+            return
+        cycles = max(1, int(ev.magnitude))
+        carousel.interrupt_for(cycles)
+        self._note_disruption()
+
+    def _fire_signature_corruption(self, ev: FaultEvent) -> None:
+        controller = self.targets.controller
+        controller.corrupt_signatures(True)
+        self.sim.call_at(self.sim.now + ev.duration_s,
+                         self._restore_signatures)
+
+    def _restore_signatures(self) -> None:
+        controller = self.targets.controller
+        if controller.corrupting_signatures:
+            controller.corrupt_signatures(False)
+            self._restored("signature_corruption")
+
+    def _fire_churn_storm(self, ev: FaultEvent) -> None:
+        nodes = list(self.targets.nodes())
+        online = [n for n in nodes if n.online]
+        if not online:
+            return
+        rng = self.sim.rng("faults")
+        k = max(1, int(round(ev.magnitude * len(online))))
+        k = min(k, len(online))
+        idx = sorted(int(i) for i in
+                     rng.choice(len(online), size=k, replace=False))
+        victims = [online[i] for i in idx]
+        for node in victims:
+            node.shutdown()
+        self._note_disruption()
+        if ev.duration_s > 0.0:
+            ids = tuple(n.pna_id for n in victims)
+            self.sim.call_at(self.sim.now + ev.duration_s,
+                             self._restore_storm, ids)
+
+    def _restore_storm(self, ids) -> None:
+        restored = 0
+        wanted = set(ids)
+        for node in self.targets.nodes():
+            # Only power nodes back on if per-node churn has not already
+            # done so (restart() on an online node would double-register).
+            if node.pna_id in wanted and not node.online:
+                node.restart()
+                restored += 1
+        self._restored("churn_storm", count=restored)

@@ -1,0 +1,303 @@
+"""Declarative, seeded fault plans.
+
+A :class:`FaultPlan` is an immutable, picklable description of *what*
+goes wrong during a simulation and *when*: the runner ships it to
+worker processes next to the trace spec, and the injector
+(:mod:`repro.faults.injector`) turns it into DES-kernel callbacks.
+Keeping the plan declarative is what makes chaos runs reproducible —
+the same plan + the same master seed yields byte-identical artifacts
+for any ``--jobs`` count, exactly like traces.
+
+Fault kinds
+-----------
+
+======================  =====================================================
+kind                    semantics (``duration_s`` / ``magnitude`` use)
+======================  =====================================================
+``controller_crash``    Controller loses volatile census; restored after
+                        ``duration_s`` from its last checkpoint (0 = never).
+``backend_crash``       Backend(s) stop serving polls for ``duration_s``;
+                        leases expire and tasks are re-dispatched.
+``link_down``           A ``magnitude`` fraction of node links (0 = all)
+                        partitioned for ``duration_s``.
+``link_flap``           Same victim selection; ``int(magnitude)`` down/up
+                        cycles, each phase ``duration_s`` long.
+``broadcast_outage``    Broadcast channel down for ``duration_s``; wakeups
+                        and resets are deferred (degraded mode).
+``carousel_interrupt``  Object carousel skips ``int(magnitude)`` cycles
+                        (falls back to a broadcast outage of ``duration_s``
+                        on systems without a carousel).
+``signature_corruption``  Controller control messages carry corrupted
+                        signatures for ``duration_s``; PNAs must reject.
+``churn_storm``         Correlated mass power-off of a ``magnitude``
+                        fraction of online nodes; survivors that are still
+                        offline return after ``duration_s``.
+======================  =====================================================
+
+Plan DSL
+--------
+
+``--faults`` accepts a preset name (``demo``, ``storm``, ``blackout``,
+``none``) or a plan literal: events separated by ``;``, each event
+``kind@TIME`` with optional ``,dur=SECONDS``, ``,mag=X``,
+``,jitter=SECONDS`` and ``,target=ID`` fields, e.g.::
+
+    controller_crash@150,dur=90;churn_storm@400,mag=0.4,dur=200
+
+``jitter`` adds a uniform ``[0, jitter)`` offset drawn from the
+dedicated ``"faults"`` RNG stream, so stochastic timing stays inside
+the deterministic seeding contract.
+
+Like the tracer, the active plan is ambient process state
+(:func:`install_plan` / :func:`current_plan` / :func:`active_plan`)
+so systems built deep inside scenario point functions can wire an
+injector without threading a parameter through every constructor.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple, Union
+
+from repro.errors import FaultPlanError
+
+__all__ = [
+    "KINDS", "PRESETS", "FaultEvent", "FaultPlan", "parse_fault_plan",
+    "install_plan", "uninstall_plan", "current_plan", "active_plan",
+]
+
+#: Recognised fault kinds, in documentation order.
+KINDS = (
+    "controller_crash",
+    "backend_crash",
+    "link_down",
+    "link_flap",
+    "broadcast_outage",
+    "carousel_interrupt",
+    "signature_corruption",
+    "churn_storm",
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled disturbance.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`KINDS`.
+    time:
+        Sim time (seconds) at which the fault fires, before jitter.
+    duration_s:
+        Outage length; 0 means permanent (or single-shot) where that
+        makes sense for the kind.
+    magnitude:
+        Kind-specific intensity — a fraction of nodes/links for
+        ``churn_storm`` / ``link_down``, a cycle or flap count for
+        ``carousel_interrupt`` / ``link_flap``.
+    jitter_s:
+        Width of the uniform random offset added to ``time`` (drawn
+        from the ``"faults"`` RNG stream at injector construction).
+    target:
+        Optional component id restricting the fault (e.g. a specific
+        backend); empty means "all eligible targets".
+    """
+
+    kind: str
+    time: float
+    duration_s: float = 0.0
+    magnitude: float = 0.0
+    jitter_s: float = 0.0
+    target: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; expected one of {KINDS}")
+        if self.time < 0:
+            raise FaultPlanError(f"fault time must be >= 0, got {self.time}")
+        if self.duration_s < 0:
+            raise FaultPlanError(
+                f"duration_s must be >= 0, got {self.duration_s}")
+        if self.jitter_s < 0:
+            raise FaultPlanError(f"jitter_s must be >= 0, got {self.jitter_s}")
+        if self.magnitude < 0:
+            raise FaultPlanError(
+                f"magnitude must be >= 0, got {self.magnitude}")
+        if self.kind == "churn_storm" and not 0.0 < self.magnitude <= 1.0:
+            raise FaultPlanError(
+                "churn_storm magnitude is the storm fraction and must be in "
+                f"(0, 1], got {self.magnitude}")
+        if self.kind in ("link_down", "churn_storm") and self.magnitude > 1.0:
+            raise FaultPlanError(
+                f"{self.kind} magnitude is a fraction and must be <= 1, "
+                f"got {self.magnitude}")
+        if self.kind == "signature_corruption" and self.duration_s <= 0:
+            raise FaultPlanError(
+                "signature_corruption needs duration_s > 0 (a zero-length "
+                "corruption window would be a no-op)")
+
+    def describe(self) -> str:
+        """Round-trippable DSL token for this event."""
+        parts = [f"{self.kind}@{self.time:g}"]
+        if self.duration_s:
+            parts.append(f"dur={self.duration_s:g}")
+        if self.magnitude:
+            parts.append(f"mag={self.magnitude:g}")
+        if self.jitter_s:
+            parts.append(f"jitter={self.jitter_s:g}")
+        if self.target:
+            parts.append(f"target={self.target}")
+        return ",".join(parts)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable sequence of :class:`FaultEvent`, in declaration order.
+
+    Declaration order is load-bearing: jitter draws are resolved in
+    this order from a single RNG stream, so reordering events changes
+    their jittered times (as it must, for determinism)."""
+
+    events: Tuple[FaultEvent, ...] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.events, tuple):
+            object.__setattr__(self, "events", tuple(self.events))
+        for ev in self.events:
+            if not isinstance(ev, FaultEvent):
+                raise FaultPlanError(
+                    f"FaultPlan events must be FaultEvent, got {type(ev)!r}")
+
+    def describe(self) -> str:
+        """Human/CLI description: the preset name or the DSL literal."""
+        if self.name:
+            return self.name
+        return ";".join(ev.describe() for ev in self.events)
+
+
+#: Named plans accepted by ``--faults=<name>``.
+PRESETS = {
+    # A gentle tour of the main injectors: one controller crash with
+    # recovery headroom, a moderate regional storm, a flapping link.
+    "demo": ("controller_crash@150,dur=90;"
+             "churn_storm@400,mag=0.4,dur=200;"
+             "link_flap@700,dur=30,mag=2"),
+    # Correlated mass power-off on top of per-node churn.
+    "storm": "churn_storm@200,mag=0.6,dur=300;churn_storm@900,mag=0.3,dur=150",
+    # The acceptance-criteria plan: control plane loses both its brain
+    # and its mouth — controller crash overlapping a carousel gap.
+    "blackout": ("controller_crash@120,dur=60;"
+                 "carousel_interrupt@150,mag=3,dur=60;"
+                 "signature_corruption@400,dur=45"),
+    "none": "",
+}
+
+_FIELD_KEYS = {"dur": "duration_s", "mag": "magnitude",
+               "jitter": "jitter_s", "target": "target"}
+
+
+def _parse_event(token: str) -> FaultEvent:
+    head, _, rest = token.partition(",")
+    kind, sep, time_s = head.partition("@")
+    kind = kind.strip()
+    if not sep:
+        raise FaultPlanError(
+            f"malformed fault event {token!r}: expected kind@TIME")
+    try:
+        time = float(time_s)
+    except ValueError:
+        raise FaultPlanError(
+            f"malformed fault time in {token!r}: {time_s!r}") from None
+    fields: dict = {}
+    if rest:
+        for item in rest.split(","):
+            key, sep, value = item.partition("=")
+            key = key.strip()
+            if not sep or key not in _FIELD_KEYS:
+                raise FaultPlanError(
+                    f"unknown fault field {item!r} in {token!r}; "
+                    f"expected one of {sorted(_FIELD_KEYS)}")
+            attr = _FIELD_KEYS[key]
+            if attr == "target":
+                fields[attr] = value.strip()
+            else:
+                try:
+                    fields[attr] = float(value)
+                except ValueError:
+                    raise FaultPlanError(
+                        f"malformed fault field {item!r} in {token!r}"
+                    ) from None
+    return FaultEvent(kind=kind, time=time, **fields)
+
+
+def parse_fault_plan(
+        spec: Union[None, str, FaultPlan]) -> Optional[FaultPlan]:
+    """Resolve a ``--faults`` value to a plan.
+
+    ``None`` stays ``None`` (faults disabled, zero overhead); a
+    :class:`FaultPlan` passes through; a string is looked up in
+    :data:`PRESETS` first and otherwise parsed as a plan literal."""
+    if spec is None:
+        return None
+    if isinstance(spec, FaultPlan):
+        return spec
+    if not isinstance(spec, str):
+        raise FaultPlanError(
+            f"fault plan spec must be None, str or FaultPlan, got {spec!r}")
+    text = spec.strip()
+    name = ""
+    if text in PRESETS:
+        name, text = text, PRESETS[text]
+    tokens = [tok.strip() for tok in text.split(";") if tok.strip()]
+    return FaultPlan(events=tuple(_parse_event(tok) for tok in tokens),
+                     name=name)
+
+
+# --------------------------------------------------------------------------
+# Ambient plan (mirrors repro.telemetry.trace's ambient Tracer): systems
+# consult current_plan() at construction and wire an injector when set.
+
+_CURRENT_PLAN: Optional[FaultPlan] = None
+
+
+def install_plan(plan: FaultPlan) -> None:
+    """Make ``plan`` the ambient fault plan for subsequently built systems."""
+    global _CURRENT_PLAN
+    if not isinstance(plan, FaultPlan):
+        raise FaultPlanError(f"expected a FaultPlan, got {plan!r}")
+    _CURRENT_PLAN = plan
+
+
+def uninstall_plan() -> None:
+    """Clear the ambient fault plan."""
+    global _CURRENT_PLAN
+    _CURRENT_PLAN = None
+
+
+def current_plan() -> Optional[FaultPlan]:
+    """The ambient fault plan, or ``None`` when faults are disabled."""
+    return _CURRENT_PLAN
+
+
+@contextlib.contextmanager
+def active_plan(plan: Optional[FaultPlan]) -> Iterator[Optional[FaultPlan]]:
+    """Scoped :func:`install_plan` / :func:`uninstall_plan` pair.
+
+    ``active_plan(None)`` is a no-op context so callers need not
+    branch on "faults enabled?"."""
+    if plan is None:
+        yield None
+        return
+    previous = _CURRENT_PLAN
+    install_plan(plan)
+    try:
+        yield plan
+    finally:
+        if previous is None:
+            uninstall_plan()
+        else:
+            install_plan(previous)

@@ -19,6 +19,7 @@ from typing import Any, Callable, Optional
 from repro.errors import ConfigurationError
 from repro.net.message import Message
 from repro.sim.core import Event, Simulator
+from repro.telemetry import trace as telemetry
 
 __all__ = ["BroadcastChannel", "Listener"]
 
@@ -53,6 +54,31 @@ class BroadcastChannel:
         self._busy_until = sim.now
         self._transmissions = 0
         self._bits_sent = 0.0
+        self._up = True
+        self._dropped_transmissions = 0
+        self._trace = telemetry.channel("net")
+        t = self._trace
+        self._m_dropped = t.counter("broadcast.dropped") if t else None
+
+    # -- state -----------------------------------------------------------
+    @property
+    def up(self) -> bool:
+        return self._up
+
+    def set_up(self, up: bool) -> None:
+        """Administratively enable/disable the multiplex (fault model).
+
+        A down channel keeps accepting transmissions — the head-end does
+        not know receivers lost the signal — but nothing reaches the
+        listeners: deliveries while down are counted in
+        :attr:`dropped_transmissions` and the transmission events still
+        settle (senders never wedge on an outage)."""
+        self._up = bool(up)
+
+    @property
+    def dropped_transmissions(self) -> int:
+        """Transmissions whose delivery fell inside an outage window."""
+        return self._dropped_transmissions
 
     # -- subscription ----------------------------------------------------
     def subscribe(self, listener: Listener) -> int:
@@ -132,6 +158,15 @@ class BroadcastChannel:
 
     def _deliver(self, message: Message, ev: Event) -> None:
         self._transmissions += 1
+        if not self._up:
+            self._dropped_transmissions += 1
+            t = self._trace
+            if t is not None:
+                t.emit(self.sim.now, "dropped", channel=self.name,
+                       reason="outage")
+                self._m_dropped.inc()
+            ev.succeed(message)
+            return
         # Snapshot so subscription changes from callbacks don't mutate
         # the iteration.
         for listener in list(self._listeners.values()):

@@ -22,6 +22,7 @@ from typing import Any, Callable, Optional
 from repro.errors import ConfigurationError, LinkDownError, NetworkError
 from repro.net.message import Message
 from repro.sim.core import Event, Simulator
+from repro.telemetry import trace as telemetry
 
 __all__ = ["Link", "DuplexChannel", "kbps", "mbps"]
 
@@ -77,8 +78,13 @@ class Link:
         self._up = True
         self._delivered = 0
         self._dropped = 0
+        self._refused = 0
         self._bits_sent = 0.0
         self._receiver: Optional[Callable[[Message], None]] = None
+        self._trace = telemetry.channel("net")
+        t = self._trace
+        self._m_dropped = t.counter("link.dropped") if t else None
+        self._m_refused = t.counter("link.refused") if t else None
 
     # -- state ---------------------------------------------------------
     @property
@@ -99,7 +105,24 @@ class Link:
 
     @property
     def dropped(self) -> int:
+        """Messages lost in flight (the i.i.d. loss draw)."""
         return self._dropped
+
+    @property
+    def refused(self) -> int:
+        """Fire-and-forget messages silently swallowed by a down link."""
+        return self._refused
+
+    def _drop(self, reason: str) -> None:
+        """Account (and trace) one message the receiver will never see."""
+        if reason == "down":
+            self._refused += 1
+        else:
+            self._dropped += 1
+        t = self._trace
+        if t is not None:
+            t.emit(self.sim.now, "dropped", link=self.name, reason=reason)
+            (self._m_refused if reason == "down" else self._m_dropped).inc()
 
     @property
     def bits_sent(self) -> float:
@@ -146,7 +169,7 @@ class Link:
             lost = bool(self.sim.rng(self._rng_stream).random() < self.loss)
 
         if lost:
-            self._dropped += 1
+            self._drop("loss")
             if fail_on_loss:
                 self.sim.call_at(
                     deliver_at, ev.fail,
@@ -163,9 +186,11 @@ class Link:
         For callers that ignore the completion event (requests, replies,
         heartbeats): identical FIFO math, byte accounting and loss draw
         (same RNG stream, same order), but no Event is allocated and a
-        down link or a lost message simply never delivers.
+        down link or a lost message simply never delivers (counted in
+        :attr:`refused` / :attr:`dropped` and traced as ``net.dropped``).
         """
         if not self._up:
+            self._drop("down")
             return
         size_bits = message.size_bits
         now = self.sim.now
@@ -177,7 +202,7 @@ class Link:
         self._bits_sent += size_bits
         if self.loss > 0.0 and bool(
                 self.sim.rng(self._rng_stream).random() < self.loss):
-            self._dropped += 1
+            self._drop("loss")
             return
         self.sim.call_at(done_serializing + self.latency_s,
                          self._deliver_quiet, message)
@@ -203,6 +228,7 @@ class Link:
         :meth:`count_delivery`).
         """
         if not self._up:
+            self._drop("down")
             return None
         now = self.sim.now
         start = self._busy_until
@@ -213,7 +239,7 @@ class Link:
         self._bits_sent += size_bits
         if self.loss > 0.0 and bool(
                 self.sim.rng(self._rng_stream).random() < self.loss):
-            self._dropped += 1
+            self._drop("loss")
             return None
         return done_serializing + self.latency_s
 

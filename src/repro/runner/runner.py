@@ -28,6 +28,7 @@ from repro._version import __version__
 from repro.analysis.sweep import run_points
 from repro.core.instance import reset_instance_sequence
 from repro.errors import ScenarioError
+from repro.faults import FaultPlan, active_plan, parse_fault_plan
 from repro.net.crypto import reset_key_sequence
 from repro.net.message import reset_message_sequence
 from repro.runner.artifacts import ArtifactStore, jsonify
@@ -81,33 +82,39 @@ class RunResult:
 
 
 def _call_point(name: str, kwargs: Mapping[str, Any], seed: int,
-                trace: Optional[Tuple[str, ...]] = None) -> Dict[str, Any]:
+                trace: Optional[Tuple[str, ...]] = None,
+                faults: Optional[FaultPlan] = None) -> Dict[str, Any]:
     """Pool-worker entry: resolve the scenario by name and run one point.
 
     Module-level (hence picklable) and registry-based, so the parent
     never ships closures across the process boundary — only the
-    scenario id, plain-data kwargs, the spawned seed and the enabled
-    trace categories.  Returns an envelope ``{"record", "wall_s",
-    "trace"}``: the scenario's record, the point's host wall time, and
-    (when tracing) the point's events plus metrics snapshot — all plain
-    picklable data, so parallel points ship their telemetry home.
+    scenario id, plain-data kwargs, the spawned seed, the enabled
+    trace categories and the (frozen, picklable) fault plan.  Returns
+    an envelope ``{"record", "wall_s", "trace"}``: the scenario's
+    record, the point's host wall time, and (when tracing) the point's
+    events plus metrics snapshot — all plain picklable data, so
+    parallel points ship their telemetry home.
     """
     _reset_global_sequences()
     scenario = get_scenario(name)
+    # An empty plan installs nothing at all, keeping the point's
+    # artifacts byte-identical to a run with faults disabled.
+    plan = faults if (faults is not None and faults.events) else None
     wall_start = time.perf_counter()
-    if trace is None:
-        result = scenario.point(**kwargs, seed=seed)
-        telemetry = None
-    else:
-        tracer = Tracer(trace, ring=TRACE_RING)
-        with active(tracer):
+    with active_plan(plan):
+        if trace is None:
             result = scenario.point(**kwargs, seed=seed)
-        telemetry = {
-            "events": tracer.events(),
-            "metrics": tracer.metrics.snapshot(),
-            "emitted": tracer.emitted,
-            "dropped": tracer.dropped,
-        }
+            telemetry = None
+        else:
+            tracer = Tracer(trace, ring=TRACE_RING)
+            with active(tracer):
+                result = scenario.point(**kwargs, seed=seed)
+            telemetry = {
+                "events": tracer.events(),
+                "metrics": tracer.metrics.snapshot(),
+                "emitted": tracer.emitted,
+                "dropped": tracer.dropped,
+            }
     wall = time.perf_counter() - wall_start
     if not isinstance(result, Mapping):
         raise ScenarioError(
@@ -139,12 +146,21 @@ class Runner:
         then runs under a fresh :class:`~repro.telemetry.trace.Tracer`;
         the merged events and metrics land on the :class:`RunResult`
         (and, with a store, in ``trace.jsonl`` / ``metrics.json``).
+    faults:
+        ``None`` (faults off) or a fault-plan spec accepted by
+        :func:`repro.faults.parse_fault_plan` — a preset name
+        (``"demo"``, ``"storm"``, ``"blackout"``) or a plan literal.
+        Each grid point then builds its systems under the plan; the
+        injected chaos rides the same deterministic seeding as
+        everything else, so faulted artifacts stay ``--jobs``
+        byte-identical.
     """
 
     def __init__(self, *, jobs: int = 1, seed: int = 0,
                  smoke: bool = False,
                  store: Optional[ArtifactStore] = None,
-                 trace: Union[None, bool, str, Iterable[str]] = None) -> None:
+                 trace: Union[None, bool, str, Iterable[str]] = None,
+                 faults: Union[None, str, FaultPlan] = None) -> None:
         if jobs < 1:
             raise ScenarioError(f"jobs must be >= 1, got {jobs}")
         self.jobs = int(jobs)
@@ -155,6 +171,7 @@ class Runner:
             self.trace: Optional[Tuple[str, ...]] = None
         else:
             self.trace = parse_categories(None if trace is True else trace)
+        self.faults = parse_fault_plan(faults)
 
     def run(self, name: str) -> RunResult:
         """Run one scenario end to end."""
@@ -165,7 +182,8 @@ class Runner:
                             len(points))
         calls = [
             {"name": scenario.name, "kwargs": {**params, **fixed},
-             "seed": point_seed, "trace": self.trace}
+             "seed": point_seed, "trace": self.trace,
+             "faults": self.faults}
             for params, point_seed in zip(points, seeds)
         ]
         wall_start = time.perf_counter()
@@ -188,6 +206,8 @@ class Runner:
             "point_wall_s": [round(env["wall_s"], 6) for env in envelopes],
             "cpu_count": os.cpu_count(),
             "version": __version__,
+            "faults": (self.faults.describe()
+                       if self.faults is not None else None),
         }
         result = RunResult(scenario=scenario.name, seed=self.seed,
                            jobs=self.jobs, smoke=self.smoke,

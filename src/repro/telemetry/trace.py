@@ -9,12 +9,17 @@ category   events
 ========== ====================================================
 kernel     DES event dispatch, fast-path calendar hits, timer-wheel
            flushes (opt-in: per-dispatch volume)
+net        link/broadcast message drops — lost unicast transfers,
+           down-link refusals, broadcast-outage losses (opt-in:
+           per-message volume under heavy loss)
 carousel   cycle boundaries, fast-forward park/wake/replay, per-file
-           ``transmit_at`` grid anchors
+           ``transmit_at`` grid anchors, interruption gaps
 control    Controller wakeup/reset publishes, heartbeat batch
            consolidation, maintenance rounds, rebalances
 pna        PNA state transitions (accept/idle/online/offline)
 backend    Backend task lifecycle (dispatch/complete/requeue)
+fault      fault-plan injections and restores, recovery milestones
+           (checkpoint/restore, MTTR, deferred control traffic)
 runner     experiment-runner markers (run/point boundaries)
 ========== ====================================================
 
@@ -82,12 +87,14 @@ __all__ = [
 
 #: Every known trace category, in canonical order.
 CATEGORIES: Tuple[str, ...] = (
-    "kernel", "carousel", "control", "pna", "backend", "runner")
+    "kernel", "net", "carousel", "control", "pna", "backend", "fault",
+    "runner")
 
 #: Enabled by a bare ``--trace``: everything except the per-dispatch
-#: ``kernel`` firehose (opt in with ``--trace=all`` or an explicit list).
+#: ``kernel`` firehose and the per-message ``net`` drop log (opt in
+#: with ``--trace=all`` or an explicit list).
 DEFAULT_CATEGORIES: Tuple[str, ...] = (
-    "carousel", "control", "pna", "backend", "runner")
+    "carousel", "control", "pna", "backend", "fault", "runner")
 
 #: One trace event: (sim_time, category, name, fields-or-None).
 TraceEvent = Tuple[float, str, str, Optional[Dict[str, Any]]]

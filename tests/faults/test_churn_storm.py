@@ -1,0 +1,72 @@
+"""Correlated churn storms and the recovery they force."""
+
+from repro.core import OddCISystem, PNAState
+from repro.faults import active_plan, parse_fault_plan
+from repro.workloads import uniform_bag
+
+
+def storm_system(spec, seed=1, n_pnas=10, target=6):
+    with active_plan(parse_fault_plan(spec)):
+        system = OddCISystem(seed=seed, maintenance_interval_s=15.0)
+    system.add_pnas(n_pnas, heartbeat_interval_s=10.0,
+                    dve_poll_interval_s=5.0)
+    job = uniform_bag(10_000, image_bits=1e6, ref_seconds=300.0)
+    submission = system.provider.submit_job(
+        job, target_size=target, heartbeat_interval_s=10.0,
+        lease_factor=3.0)
+    return system, submission
+
+
+def test_storm_fells_a_fraction_and_restores_them():
+    system, _ = storm_system("churn_storm@50,mag=0.5,dur=100")
+    system.sim.run(until=55.0)
+    offline = [p for p in system.pnas if not p.online]
+    assert len(offline) == 5  # 50% of 10 online nodes
+    system.sim.run(until=160.0)
+    assert all(p.online for p in system.pnas)
+
+
+def test_storm_recovery_restores_instance_and_reports_mttr():
+    system, submission = storm_system("churn_storm@60,mag=0.5,dur=80")
+    system.sim.run(until=400.0)
+    record = system.controller.instance(submission.instance_id)
+    assert record.size == record.spec.target_size
+    assert len(system.controller.mttr_history) >= 1
+    assert all(m > 0 for m in system.controller.mttr_history)
+
+
+def test_storm_victims_are_seed_deterministic():
+    def victims(seed):
+        system, _ = storm_system("churn_storm@50,mag=0.4,dur=200",
+                                 seed=seed)
+        system.sim.run(until=60.0)
+        return tuple(p.pna_id for p in system.pnas if not p.online)
+
+    assert victims(7) == victims(7)
+
+
+def test_storm_does_not_double_restart_naturally_recovered_nodes():
+    """A victim the test powers back on manually must not be restarted
+    again by the storm's restore pass."""
+    system, _ = storm_system("churn_storm@50,mag=0.5,dur=100")
+    system.sim.run(until=55.0)
+    victim = next(p for p in system.pnas if not p.online)
+    victim.restart()
+    system.sim.run(until=160.0)  # restore pass runs at t=150
+    assert victim.online
+    assert all(p.online for p in system.pnas)
+
+
+def test_storm_mid_job_still_completes():
+    with active_plan(parse_fault_plan("churn_storm@40,mag=0.6,dur=60")):
+        system = OddCISystem(seed=3, maintenance_interval_s=15.0)
+    system.add_pnas(8, heartbeat_interval_s=10.0, dve_poll_interval_s=5.0)
+    job = uniform_bag(24, image_bits=1e6, ref_seconds=15.0)
+    submission = system.provider.submit_job(
+        job, target_size=5, heartbeat_interval_s=10.0, lease_factor=3.0)
+    report = system.provider.run_job_to_completion(submission, limit_s=1e6)
+    assert report.n_tasks == 24
+    # The storm stranded leased tasks on powered-off nodes; leases
+    # re-dispatched them.
+    assert report.requeues >= 1
+    assert system.fault_injector.fired == [(40.0, "churn_storm")]

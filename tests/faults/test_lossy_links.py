@@ -1,16 +1,21 @@
-"""Failure injection: the protocol under lossy direct channels.
+"""Lossy / partitioned direct channels (grown from the original
+``tests/test_failure_injection.py``).
 
 The paper's direct channels are home broadband — loss happens.  These
-tests verify that heartbeat loss does not wedge the Controller, and
-that lease-based re-queuing lets jobs finish despite message loss on
-the task path.
+tests verify that heartbeat loss does not wedge the Controller, that
+lease-based re-queuing lets jobs finish despite message loss on the
+task path, and that every silently swallowed message is observable
+through the link's ``dropped`` / ``refused`` counters and ``net``-
+category trace events.
 """
 
 import pytest
 
 from repro.core import OddCISystem, PNAState
-from repro.core.system import OddCISystem as _System
-from repro.net.link import DuplexChannel
+from repro.net.link import DuplexChannel, Link
+from repro.net.message import Message
+from repro.sim.core import Simulator
+from repro.telemetry.trace import Tracer, active
 from repro.workloads import uniform_bag
 
 
@@ -43,6 +48,8 @@ def test_heartbeat_loss_does_not_wedge_controller():
     # Despite 30% loss, enough heartbeats get through to register all.
     assert len(system.controller.registry) == 10
     assert system.controller.counters["heartbeats"] > 0
+    # Satellite: the loss is observable, not silent.
+    assert sum(p.channel.uplink.dropped for p in system.pnas) > 0
 
 
 def test_job_completes_under_loss_with_timeout_recovery():
@@ -86,3 +93,66 @@ def test_membership_expiry_under_total_silence():
     member_ids = set(record.members)
     assert all(p.pna_id not in member_ids for p in busy[:2])
     assert record.size >= 5  # recomposed from the idle pool
+    # Satellite: fire-and-forget sends into the dead uplinks were
+    # refused (counted), never silently lost.
+    assert all(p.channel.uplink.refused > 0 for p in busy[:2])
+
+
+# -- satellite: Link drop observability ---------------------------------------
+
+def _message(sim, payload_bits=1000.0):
+    return Message(sender="a", recipient="b", payload_bits=payload_bits)
+
+
+def test_send_quiet_on_down_link_counts_refused():
+    sim = Simulator(seed=0)
+    link = Link(sim, rate_bps=1e6, name="t0")
+    link.set_up(False)
+    link.send_quiet(_message(sim))
+    assert link.refused == 1
+    assert link.dropped == 0
+
+
+def test_offer_on_down_link_counts_refused():
+    sim = Simulator(seed=0)
+    link = Link(sim, rate_bps=1e6, name="t1")
+    link.set_up(False)
+    assert link.offer(1000.0) is None
+    assert link.refused == 1
+
+
+def test_lost_messages_count_dropped_not_refused():
+    sim = Simulator(seed=0)
+    link = Link(sim, rate_bps=1e6, loss=0.999999, name="t2")
+    for _ in range(5):
+        link.send_quiet(_message(sim))
+    assert link.dropped == 5
+    assert link.refused == 0
+
+
+def test_drops_emit_net_trace_events_and_metrics():
+    tracer = Tracer(("net",))
+    with active(tracer):
+        sim = Simulator(seed=0)
+        link = Link(sim, rate_bps=1e6, name="t3")
+        link.set_up(False)
+        link.send_quiet(_message(sim))
+        link.set_up(True)
+        lossy = Link(sim, rate_bps=1e6, loss=0.999999, name="t4")
+        lossy.send_quiet(_message(sim))
+    events = [(ev[1], ev[2], ev[3]) for ev in tracer.events()]
+    reasons = [fields["reason"] for cat, name, fields in events
+               if name == "dropped"]
+    assert reasons == ["down", "loss"]
+    snapshot = tracer.metrics.snapshot()
+    assert snapshot["counters"]["link.refused"] == 1
+    assert snapshot["counters"]["link.dropped"] == 1
+
+
+def test_send_with_fail_on_loss_fails_event_and_counts():
+    sim = Simulator(seed=0)
+    link = Link(sim, rate_bps=1e6, loss=0.999999, name="t5")
+    ev = link.send(_message(sim), fail_on_loss=True)
+    with pytest.raises(Exception):
+        sim.run_until_event(ev, limit=10.0)
+    assert link.dropped == 1

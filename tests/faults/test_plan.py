@@ -1,0 +1,131 @@
+"""Fault-plan DSL, presets, validation, and the ambient-plan hook."""
+
+import pytest
+
+from repro.errors import (
+    BackendError,
+    ControllerDownError,
+    FaultError,
+    FaultPlanError,
+    LinkDownError,
+    NetworkError,
+    OddCIError,
+    SignatureError,
+)
+from repro.faults import (
+    KINDS,
+    PRESETS,
+    FaultEvent,
+    FaultPlan,
+    active_plan,
+    current_plan,
+    install_plan,
+    parse_fault_plan,
+    uninstall_plan,
+)
+
+
+# -- parsing ------------------------------------------------------------------
+
+def test_parse_literal_with_all_fields():
+    plan = parse_fault_plan(
+        "controller_crash@150,dur=90;"
+        "churn_storm@400,mag=0.4,dur=200,jitter=5,target=pna-3")
+    assert len(plan.events) == 2
+    crash, storm = plan.events
+    assert crash.kind == "controller_crash"
+    assert crash.time == 150.0 and crash.duration_s == 90.0
+    assert storm.magnitude == 0.4 and storm.jitter_s == 5.0
+    assert storm.target == "pna-3"
+
+
+def test_parse_none_and_passthrough():
+    assert parse_fault_plan(None) is None
+    plan = FaultPlan(events=(FaultEvent("broadcast_outage", 10.0),))
+    assert parse_fault_plan(plan) is plan
+
+
+def test_presets_resolve_and_none_is_empty():
+    for name, spec in PRESETS.items():
+        plan = parse_fault_plan(name)
+        assert plan.name == name
+        assert len(plan.events) == len(
+            [tok for tok in spec.split(";") if tok])
+    assert parse_fault_plan("none").events == ()
+
+
+def test_describe_round_trips():
+    spec = ("controller_crash@150,dur=90;"
+            "churn_storm@400,dur=200,mag=0.4,jitter=5,target=pna-3")
+    plan = parse_fault_plan(spec)
+    again = parse_fault_plan(plan.describe())
+    assert again.events == plan.events
+
+
+@pytest.mark.parametrize("bad", [
+    "explode@10",                       # unknown kind
+    "controller_crash",                 # missing @TIME
+    "controller_crash@ten",             # non-numeric time
+    "controller_crash@-5",              # negative time
+    "controller_crash@5,wat=3",         # unknown field
+    "controller_crash@5,dur=abc",       # non-numeric field
+    "churn_storm@5,mag=1.5",            # fraction > 1
+    "churn_storm@5",                    # fraction 0 (missing)
+    "link_down@5,mag=2",                # fraction > 1
+    "signature_corruption@5",           # zero-length window
+])
+def test_malformed_plans_raise(bad):
+    with pytest.raises(FaultPlanError):
+        parse_fault_plan(bad)
+
+
+def test_every_kind_is_constructible():
+    for kind in KINDS:
+        mag = 0.5 if kind in ("link_down", "churn_storm") else 2.0
+        ev = FaultEvent(kind, 10.0, duration_s=5.0, magnitude=mag)
+        assert ev.kind == kind
+
+
+# -- ambient plan -------------------------------------------------------------
+
+def test_install_uninstall_current():
+    assert current_plan() is None
+    plan = parse_fault_plan("broadcast_outage@10,dur=5")
+    install_plan(plan)
+    try:
+        assert current_plan() is plan
+    finally:
+        uninstall_plan()
+    assert current_plan() is None
+
+
+def test_active_plan_nests_and_restores():
+    outer = parse_fault_plan("broadcast_outage@10,dur=5")
+    inner = parse_fault_plan("controller_crash@20,dur=5")
+    with active_plan(outer):
+        assert current_plan() is outer
+        with active_plan(inner):
+            assert current_plan() is inner
+        assert current_plan() is outer
+    assert current_plan() is None
+
+
+def test_active_plan_none_is_noop():
+    with active_plan(None) as plan:
+        assert plan is None
+        assert current_plan() is None
+
+
+# -- error hierarchy (satellite: every fault-path error is a FaultError) ------
+
+def test_fault_errors_share_the_oddci_branch():
+    for exc_type in (FaultPlanError, ControllerDownError, BackendError,
+                     LinkDownError, SignatureError):
+        assert issubclass(exc_type, FaultError)
+        assert issubclass(exc_type, OddCIError)
+    # Network-flavoured faults keep NetworkError as their primary base
+    # so pre-existing `except NetworkError` handlers still catch them.
+    assert issubclass(LinkDownError, NetworkError)
+    assert issubclass(SignatureError, NetworkError)
+    assert LinkDownError.__mro__.index(NetworkError) < \
+        LinkDownError.__mro__.index(FaultError)

@@ -1,0 +1,45 @@
+"""Signature corruption: PNAs must reject tampered control messages."""
+
+from repro.core import OddCISystem
+from repro.faults import active_plan, parse_fault_plan
+from repro.workloads import uniform_bag
+
+
+def test_corrupted_wakeups_are_rejected_then_recruitment_recovers():
+    # Corruption is active from t=5 for 60s; the job arrives at t=10,
+    # so its initial wakeup goes out tampered and every PNA must drop
+    # it.  Maintenance re-wakeups after t=65 carry good signatures.
+    plan = parse_fault_plan("signature_corruption@5,dur=60")
+    with active_plan(plan):
+        system = OddCISystem(seed=1, maintenance_interval_s=20.0)
+    system.add_pnas(8, heartbeat_interval_s=10.0, dve_poll_interval_s=5.0)
+    system.sim.run(until=10.0)
+    assert system.controller.corrupting_signatures
+
+    job = uniform_bag(10_000, image_bits=1e6, ref_seconds=300.0)
+    submission = system.provider.submit_job(
+        job, target_size=5, heartbeat_interval_s=10.0)
+    system.sim.run(until=60.0)
+    # Inside the window: nobody joined, the tampering was detected.
+    record = system.controller.instance(submission.instance_id)
+    assert record.size == 0
+    assert sum(p.dropped_bad_signature for p in system.pnas) >= 8
+    assert system.controller.counters["signatures_corrupted"] >= 1
+
+    system.sim.run(until=200.0)
+    # After the window: maintenance re-sent a clean wakeup; fleet full.
+    assert not system.controller.corrupting_signatures
+    assert record.size == record.spec.target_size
+
+
+def test_corruption_window_restores_exactly():
+    plan = parse_fault_plan("signature_corruption@5,dur=60")
+    with active_plan(plan):
+        system = OddCISystem(seed=2, maintenance_interval_s=20.0)
+    system.add_pnas(2, heartbeat_interval_s=10.0)
+    system.sim.run(until=4.0)
+    assert not system.controller.corrupting_signatures
+    system.sim.run(until=6.0)
+    assert system.controller.corrupting_signatures
+    system.sim.run(until=66.0)
+    assert not system.controller.corrupting_signatures

@@ -1,0 +1,74 @@
+"""Faulted runs obey the same ``--jobs`` byte-parity contract as clean
+runs, and an *empty* fault plan is indistinguishable from faults off.
+
+The fault injector draws all its randomness (jitters, storm victims)
+from the per-point seeded ``"faults"`` RNG stream and schedules
+everything on the kernel calendar, so the chaos timeline — and with it
+records.json, trace.jsonl and metrics.json — must be byte-identical
+for any worker count.
+"""
+
+import pytest
+
+from repro.runner import ArtifactStore, Runner
+
+
+def _artifacts(tmp_path, name, jobs, *, faults=None, trace=None):
+    root = tmp_path / f"jobs{jobs}-{faults or 'clean'}"
+    runner = Runner(jobs=jobs, seed=7, smoke=True, faults=faults,
+                    trace=trace, store=ArtifactStore(root))
+    result = runner.run(name)
+    directory = root / name
+    records = (directory / "records-smoke.json").read_bytes()
+    trace_bytes = metrics_bytes = None
+    if trace is not None:
+        trace_bytes = (directory / "trace.jsonl").read_bytes()
+        metrics_bytes = (directory / "metrics.json").read_bytes()
+    return result, records, trace_bytes, metrics_bytes
+
+
+@pytest.mark.parametrize("jobs", (2, 4))
+def test_fault_sweep_parallel_matches_serial_byte_for_byte(tmp_path, jobs):
+    serial = _artifacts(tmp_path, "fault_sweep", 1, trace="all")
+    par = _artifacts(tmp_path, "fault_sweep", jobs, trace="all")
+    assert par[1] == serial[1]  # records-smoke.json
+    assert par[2] == serial[2]  # trace.jsonl
+    assert par[3] == serial[3]  # metrics.json
+    assert par[0].records == serial[0].records
+    # The sweep really injected and recovered at intensity > 0.
+    faulted = [r for r in serial[0].records if r["intensity"] > 0]
+    assert faulted and all(r["faults_fired"] > 0 for r in faulted)
+    assert all(r["completed"] for r in serial[0].records)
+    metrics = serial[0].metrics
+    assert metrics["counters"]["fault.injected"] > 0
+    assert metrics["histograms"]["recovery.mttr_s"]["count"] > 0
+
+
+def test_runner_faults_flag_is_jobs_invariant(tmp_path):
+    """A stock scenario run under ``--faults=demo`` stays byte-parallel
+    too — the injector's RNG stream rides the per-point seed."""
+    serial = _artifacts(tmp_path, "a3", 1, faults="demo")
+    par = _artifacts(tmp_path, "a3", 2, faults="demo")
+    assert par[1] == serial[1]
+    assert par[0].records == serial[0].records
+    assert serial[0].meta["faults"] == "demo"
+
+
+def test_empty_plan_is_byte_identical_to_faults_off(tmp_path):
+    """``--faults=none`` must not perturb anything: no injector, no RNG
+    draw, no trace events — output matches a run with faults disabled."""
+    clean = _artifacts(tmp_path, "a3", 1, trace="all")
+    empty = _artifacts(tmp_path, "a3", 1, faults="none", trace="all")
+    assert empty[1] == clean[1]
+    assert empty[2] == clean[2]
+    assert empty[3] == clean[3]
+    assert clean[0].meta["faults"] is None
+    assert empty[0].meta["faults"] == "none"
+
+
+def test_demo_faults_change_the_records(tmp_path):
+    """Sanity check the parity tests bite: a non-empty plan visibly
+    alters the faulted scenario's outcome."""
+    clean = _artifacts(tmp_path, "a3", 1)
+    faulted = _artifacts(tmp_path, "a3", 1, faults="demo")
+    assert faulted[1] != clean[1]

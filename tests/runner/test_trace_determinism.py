@@ -41,7 +41,8 @@ def test_trace_parallel_matches_serial_byte_for_byte(tmp_path, name, jobs):
     assert par.records == serial.records
     assert serial.trace_events is not None
     assert serial.meta["trace_categories"] == [
-        "kernel", "carousel", "control", "pna", "backend", "runner"]
+        "kernel", "net", "carousel", "control", "pna", "backend",
+        "fault", "runner"]
 
 
 def test_traced_run_has_runner_markers_and_metrics(tmp_path):
