@@ -12,15 +12,19 @@ experiments:
 	$(PYTHON) -m pytest tests/experiments/test_smoke_all.py -q \
 		--run-experiments
 
-# Full event-tier perf harness: writes BENCH_event_tier.json.
-# Wall numbers are machine-dependent — see DESIGN.md §8 for the
-# interleaved before/after measurement protocol.
+# Full perf harness: event-tier families (BENCH_event_tier.json) plus
+# the census consolidation family (BENCH_census.json).  Wall numbers
+# are machine-dependent — see DESIGN.md §8 for the interleaved
+# before/after measurement protocol and §11 for the census engine.
 bench:
 	$(PYTHON) -m repro bench
+	$(PYTHON) -m repro bench --census
 
 bench-quick:
 	$(PYTHON) -m repro bench --scales 1000 --kernel-scales 10000 \
 		--out /tmp/bench_quick.json
+	$(PYTHON) -m repro bench --census --census-scales 20000 \
+		--out /tmp/bench_census_quick.json
 
 # Traced smoke run + human summary of the resulting trace artifacts
 # (see DESIGN.md §9 for the event taxonomy).

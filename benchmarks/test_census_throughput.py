@@ -1,0 +1,38 @@
+"""Census consolidation throughput guard (PR: columnar census engine).
+
+The cohort fast path must consolidate a 10^5-member heartbeat round at
+least 3x faster than the payload-by-payload baseline, and produce a
+byte-identical census while doing it.  The structural test always runs
+(small scale, asserts equivalence plumbing); the full-scale speedup
+guard is perf-marked (``pytest benchmarks/ --run-perf``) so default
+collection stays fast on loaded CI workers.
+"""
+
+import pytest
+
+from repro.perfbench import CENSUS_SCALES, run_census_scenario
+
+#: Floor enforced by the tracked BENCH_census.json artifact; the real
+#: machine measurement (see repo root) lands well above this.
+MIN_SPEEDUP = 3.0
+
+
+def test_census_scenario_is_an_equivalence_check():
+    """Small scale, always-on: the scenario itself asserts the dict and
+    columnar engines consolidated identical censuses, so a green run is
+    a correctness statement, not just a stopwatch."""
+    metrics = run_census_scenario(2_000, rounds=2, repeats=1)
+    assert metrics["n_members"] == 2_000
+    assert metrics["instance_size"] == 1_800   # 90% busy members
+    assert metrics["idle_estimate"] == 200     # 10% idle
+    assert metrics["baseline_consolidations_per_sec"] > 0
+    assert metrics["columnar_consolidations_per_sec"] > 0
+
+
+@pytest.mark.perf
+@pytest.mark.parametrize("n_members", list(CENSUS_SCALES))
+def test_columnar_speedup_at_scale(n_members):
+    metrics = run_census_scenario(n_members)
+    assert metrics["speedup"] >= MIN_SPEEDUP, (
+        f"columnar census fell to {metrics['speedup']:.2f}x at "
+        f"n={n_members}; the tracked floor is {MIN_SPEEDUP}x")

@@ -16,6 +16,13 @@ from repro.core.aggregation import (
     HeartbeatDigest,
 )
 from repro.core.backend import Backend, JobReport
+from repro.core.census import (
+    CensusStore,
+    ColumnarCensusStore,
+    DictCensusStore,
+    NodeInterner,
+    make_census_store,
+)
 from repro.core.controller import Controller, ControlPlane, DirectControlPlane
 from repro.core.dve import CONTROL_PAYLOAD_BITS, DVE
 from repro.core.instance import (
@@ -69,6 +76,11 @@ __all__ = [
     "FixedProbability",
     "DeficitProportional",
     "Router",
+    "NodeInterner",
+    "CensusStore",
+    "ColumnarCensusStore",
+    "DictCensusStore",
+    "make_census_store",
     "DVE",
     "CONTROL_PAYLOAD_BITS",
     "PNA",

@@ -188,9 +188,11 @@ class DigestingController:
         router = controller.router
         router.unregister_component(controller.controller_id)
         # Heartbeat cohort batches carry only HeartbeatPayloads, so they
-        # can bypass the digest dispatch straight into the controller.
+        # can bypass the digest dispatch straight into the controller —
+        # including its columnar cohort path.
         router.register_component(controller.controller_id, self._receive,
                                   receive_batch=controller._receive_batch,
+                                  receive_cohort=controller._receive_cohort,
                                   receive_payload=self._receive_payload)
         # The wakeup-probability policy must see the digest-informed idle
         # census, so the wrapped controller's estimator is overridden.
@@ -209,6 +211,8 @@ class DigestingController:
     def _apply_digest(self, digest: HeartbeatDigest) -> None:
         self.digests_received += 1
         controller = self.controller
+        census = controller.census
+        interner = census.interner
         now = controller.sim.now
         controller.counters.incr("digests")
         controller._digest_idle = getattr(controller, "_digest_idle", {})
@@ -217,8 +221,8 @@ class DigestingController:
         for instance_id, members in digest.members.items():
             record = controller.instances.get(instance_id)
             for pna_id in members:
-                controller.registry[pna_id] = (now, PNAState.BUSY,
-                                               instance_id)
+                idx = interner.intern(pna_id)
+                census.touch(idx, PNAState.BUSY, instance_id, now)
                 if record is None or record.status.value in (
                         "dismantling", "destroyed"):
                     controller._reply_reset(pna_id)
@@ -226,11 +230,11 @@ class DigestingController:
                 trims = controller._pending_trims.get(instance_id, 0)
                 if trims > 0:
                     controller._pending_trims[instance_id] = trims - 1
-                    record.drop_member(pna_id)
+                    census.drop_member(record.census_handle, idx)
                     record.trims_sent += 1
                     controller._reply_reset(pna_id)
                 else:
-                    record.mark_member(pna_id, now)
+                    census.mark_member(record.census_handle, idx, now)
 
     def idle_estimate(self) -> int:
         """Aggregated idle census (fresh digests only)."""
@@ -239,6 +243,6 @@ class DigestingController:
         digests = getattr(controller, "_digest_idle", {})
         from_digests = sum(count for (seen, count) in digests.values()
                            if seen >= horizon)
-        raw = sum(1 for (seen, state, _i) in controller.registry.values()
-                  if state is PNAState.IDLE and seen >= horizon)
-        return from_digests + raw
+        # Legacy (un-aggregated) heartbeats still land in the census —
+        # one columnar reduction covers them.
+        return from_digests + controller.census.idle_estimate(horizon)

@@ -46,6 +46,12 @@ from repro.errors import (
     OddCIError,
     ProvisioningError,
 )
+from repro.core.census import (
+    STATE_BUSY,
+    STATE_IDLE,
+    RegistryView,
+    make_census_store,
+)
 from repro.core.dve import CONTROL_PAYLOAD_BITS
 from repro.core.instance import (
     InstanceRecord,
@@ -70,9 +76,19 @@ from repro.sim.core import Simulator
 from repro.sim.monitor import Counter, TimeSeries
 from repro.sim.process import Interrupt
 from repro.telemetry.trace import channel as _telemetry_channel
+from repro.telemetry.trace import metrics_registry as _telemetry_metrics
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - columnar store is gated off too
+    np = None  # type: ignore[assignment]
 
 __all__ = ["ControlPlane", "DirectControlPlane", "Controller",
            "ControllerCheckpoint"]
+
+#: sentinel distinguishing "instance not classified yet" from the
+#: ``None`` that marks an instance as slow-path in a cohort pass.
+_UNSEEN: object = object()
 
 
 class ControlPlane:
@@ -166,6 +182,7 @@ class Controller:
         probability_policy: Optional[ProbabilityPolicy] = None,
         maintenance_interval_s: float = 60.0,
         heartbeat_grace_factor: float = 3.0,
+        census_backend: Optional[str] = None,
     ) -> None:
         if maintenance_interval_s <= 0:
             raise OddCIError("maintenance_interval_s must be > 0")
@@ -180,13 +197,24 @@ class Controller:
         self.maintenance_interval_s = maintenance_interval_s
         self.heartbeat_grace_factor = heartbeat_grace_factor
 
-        #: pna_id -> (last_seen, state, instance_id)
-        self.registry: Dict[str, Tuple[float, PNAState, Optional[str]]] = {}
+        #: the census engine: registry + per-instance membership in one
+        #: store (columnar by default, dict-backed reference on demand),
+        #: sharing the router's node-id interning table so heartbeat
+        #: cohorts consolidate by index.  ``registry`` is the historical
+        #: ``pna_id -> (last_seen, state, instance_id)`` dict shape as a
+        #: live view.
+        self.census = make_census_store(router.interner, census_backend)
+        self.registry = RegistryView(self.census)
         self.instances: Dict[str, InstanceRecord] = {}
         self._pending_trims: Dict[str, int] = {}
         self._pending_resets: Set[str] = set()
         self.counters = Counter()
         self.size_history: Dict[str, TimeSeries] = {}
+        # Cohort duplicate guard: per-node epoch stamps (grown lazily to
+        # the interner's size).  A payload list with a repeated node is
+        # not a wheel cohort — it falls back to per-payload order.
+        self._dup_stamp: List[int] = []
+        self._dup_epoch = 0
 
         # Crash/recovery state (DESIGN.md §10).
         self.alive = True
@@ -198,15 +226,18 @@ class Controller:
         self._healthy_rounds = 0
         self._corrupt_signatures = False
 
-        # Telemetry (``None`` when tracing is off — hot paths guard on
-        # a single truthiness check).  The ``census.*`` family counts
-        # per-payload consolidation outcomes and is delivery-shape
-        # independent: batch and per-payload heartbeat delivery must
-        # produce identical census metrics (tested).  ``delivery.*``
-        # describes the batching itself and is excluded from parity.
-        trace = _telemetry_channel("control")
-        self._trace = trace
-        if trace is None:
+        # Telemetry.  Trace events gate on the channel (``None`` when
+        # the category is off); metrics gate on the metric objects,
+        # resolved from the ambient tracer's registry, so a
+        # metrics-enabled/trace-disabled run still counts everything.
+        # The ``census.*`` family counts per-payload consolidation
+        # outcomes and is delivery-shape independent: batch and
+        # per-payload heartbeat delivery must produce identical census
+        # metrics (tested).  ``delivery.*`` describes the batching
+        # itself and is excluded from parity.
+        self._trace = _telemetry_channel("control")
+        metrics = _telemetry_metrics()
+        if metrics is None:
             self._m_heartbeats = None
             self._m_stale = None
             self._m_trim = None
@@ -214,17 +245,26 @@ class Controller:
             self._m_batch_size = None
             self._m_mttr = None
             self._m_deferred = None
+            self._m_registry = None
+            self._m_idle = None
+            self._m_alive = None
         else:
-            self._m_heartbeats = trace.counter("census.heartbeats")
-            self._m_stale = trace.counter("census.stale_resets")
-            self._m_trim = trace.counter("census.trim_resets")
-            self._m_batches = trace.counter("delivery.batches")
-            self._m_batch_size = trace.histogram("delivery.batch_size")
-            self._m_mttr = trace.histogram("recovery.mttr_s")
-            self._m_deferred = trace.counter("recovery.wakeups_deferred")
+            self._m_heartbeats = metrics.counter("census.heartbeats")
+            self._m_stale = metrics.counter("census.stale_resets")
+            self._m_trim = metrics.counter("census.trim_resets")
+            self._m_batches = metrics.counter("delivery.batches")
+            self._m_batch_size = metrics.histogram("delivery.batch_size")
+            self._m_mttr = metrics.histogram("recovery.mttr_s")
+            self._m_deferred = metrics.counter("recovery.wakeups_deferred")
+            # Census gauges, refreshed from array reductions at every
+            # maintenance round.
+            self._m_registry = metrics.gauge("census.registry_size")
+            self._m_idle = metrics.gauge("census.idle")
+            self._m_alive = metrics.gauge("census.alive")
 
         router.register_component(controller_id, self._receive,
                                   receive_batch=self._receive_batch,
+                                  receive_cohort=self._receive_cohort,
                                   receive_payload=self._receive_payload)
         self._maintenance_proc = sim.process(self._maintenance_loop())
 
@@ -241,7 +281,8 @@ class Controller:
         instance_id = instance_id or new_instance_id()
         if instance_id in self.instances:
             raise ProvisioningError(f"instance {instance_id!r} already exists")
-        record = InstanceRecord(instance_id, spec, self.sim.now)
+        record = InstanceRecord(instance_id, spec, self.sim.now,
+                                census=self.census)
         self.instances[instance_id] = record
         self.size_history[instance_id] = TimeSeries(f"size:{instance_id}")
         self._send_wakeup(record)
@@ -306,15 +347,14 @@ class Controller:
 
     # -- consolidated knowledge ---------------------------------------------------
     def idle_estimate(self) -> int:
-        """Idle PNAs heard from within the grace window."""
-        horizon = self.sim.now - self._grace_window()
-        return sum(1 for (seen, state, _inst) in self.registry.values()
-                   if state is PNAState.IDLE and seen >= horizon)
+        """Idle PNAs heard from within the grace window.
+
+        A census reduction: one vectorised pass over the state/seen
+        columns on the columnar store."""
+        return self.census.idle_estimate(self.sim.now - self._grace_window())
 
     def alive_estimate(self) -> int:
-        horizon = self.sim.now - self._grace_window()
-        return sum(1 for (seen, _state, _inst) in self.registry.values()
-                   if seen >= horizon)
+        return self.census.alive_estimate(self.sim.now - self._grace_window())
 
     def _grace_window(self) -> float:
         intervals = [r.spec.heartbeat_interval_s
@@ -349,12 +389,13 @@ class Controller:
             # next maintenance round re-evaluates the deficit and
             # retries once the plane is back.
             self.counters.incr("wakeups_deferred")
+            if self._m_deferred is not None:
+                self._m_deferred.value += 1
             trace = self._trace
             if trace is not None:
                 trace.emit(self.sim.now, "wakeup_deferred",
                            instance=record.instance_id,
                            deficit=record.deficit)
-                self._m_deferred.value += 1
             return
         deficit = max(record.deficit, 1)
         probability = self.probability_policy.probability(
@@ -389,6 +430,17 @@ class Controller:
             self._m_heartbeats.value += 1
         self._consolidate(payload)
 
+    def _batch_bumps(self, n: int) -> None:
+        """Counter/metric/trace bookkeeping for one heartbeat batch."""
+        self.counters.incr("heartbeats", n)
+        if self._m_heartbeats is not None:
+            self._m_heartbeats.value += n
+            self._m_batches.value += 1
+            self._m_batch_size.observe(n)
+        trace = self._trace
+        if trace is not None:
+            trace.emit(self.sim.now, "heartbeat_batch", size=n)
+
     def _receive_batch(self, payloads: list) -> None:
         """Bulk entry point for same-instant heartbeat cohorts.
 
@@ -396,26 +448,107 @@ class Controller:
         order = the order per-PNA messages used to arrive in); only the
         per-message wrapping and counter bumps are amortised.
         """
-        self.counters.incr("heartbeats", len(payloads))
-        trace = self._trace
-        if trace is not None:
-            self._m_heartbeats.value += len(payloads)
-            self._m_batches.value += 1
-            self._m_batch_size.observe(len(payloads))
-            trace.emit(self.sim.now, "heartbeat_batch", size=len(payloads))
+        self._batch_bumps(len(payloads))
         consolidate = self._consolidate
         for payload in payloads:
             consolidate(payload)
 
+    #: below this cohort size the classification + array-build overhead
+    #: beats the vectorisation win; the cohort path defers to the
+    #: per-payload loop.
+    _COHORT_MIN = 16
+
+    def _receive_cohort(self, payloads: list, idxs: list) -> None:
+        """Columnar entry point: a cohort plus its interned indices.
+
+        One classification pass splits the cohort into (a) idle
+        heartbeats, (b) per-instance groups whose consolidation is pure
+        membership refresh (live instance, no pending trims) and (c) a
+        *slow tail*, kept in original payload order, of everything with
+        side effects — stale/unknown instances (reset replies) and
+        pending-trim instances (trim countdowns).  Groups (a)+(b) land
+        as columnar writes; (c) replays through :meth:`_consolidate`,
+        so reset-reply event ordering and trim-exhaustion semantics are
+        exactly the sequential ones.  Because every node appears at
+        most once per cohort (enforced by epoch stamps — violations
+        fall back to the per-payload path wholesale), the columnar
+        regrouping is order-equivalent to the sequential fold.
+        """
+        census = self.census
+        if not census.supports_columnar or len(payloads) < self._COHORT_MIN:
+            self._receive_batch(payloads)
+            return
+        stamp = self._dup_stamp
+        interned = len(self.router.interner)
+        if len(stamp) < interned:
+            stamp.extend([0] * (interned - len(stamp)))
+        epoch = self._dup_epoch = self._dup_epoch + 1
+        instances = self.instances
+        pending = self._pending_trims
+        idle_idxs: List[int] = []
+        # instance_id -> fast-group idx list, or None once classified
+        # slow; an instance's classification is constant within the
+        # pass (records and trim counts only change in the slow replay
+        # below), so it is resolved once per instance, not per payload.
+        groups: Dict[str, Optional[List[int]]] = {}
+        slow: List[HeartbeatPayload] = []
+        idle_append = idle_idxs.append
+        slow_append = slow.append
+        groups_get = groups.get
+        IDLE = PNAState.IDLE
+        unseen = _UNSEEN
+        for payload, idx in zip(payloads, idxs):
+            if stamp[idx] == epoch:
+                # Duplicate node in one batch: not a wheel cohort.
+                self._receive_batch(payloads)
+                return
+            stamp[idx] = epoch
+            if payload.state is IDLE:
+                idle_append(idx)
+                continue
+            instance_id = payload.instance_id
+            group = groups_get(instance_id, unseen)
+            if group is unseen:
+                record = instances.get(instance_id)
+                if (record is None
+                        or record.status in (InstanceStatus.DISMANTLING,
+                                             InstanceStatus.DESTROYED)
+                        or pending.get(instance_id, 0) > 0):
+                    groups[instance_id] = group = None
+                else:
+                    groups[instance_id] = group = []
+            if group is None:
+                slow_append(payload)
+            else:
+                group.append(idx)
+        self._batch_bumps(len(payloads))
+        now = self.sim.now
+        if idle_idxs:
+            arr = np.array(idle_idxs, dtype=np.int64)
+            census.touch_group(arr, STATE_IDLE, None, now)
+            census.drop_many_from_all(arr)
+        for instance_id, group in groups.items():
+            if not group:
+                continue
+            arr = np.array(group, dtype=np.int64)
+            census.touch_group(arr, STATE_BUSY, instance_id, now)
+            census.mark_members(instances[instance_id].census_handle,
+                                arr, now)
+        consolidate = self._consolidate
+        for payload in slow:
+            consolidate(payload)
+
     def _consolidate(self, payload: HeartbeatPayload) -> None:
         now = self.sim.now
-        self.registry[payload.pna_id] = (now, payload.state,
-                                         payload.instance_id)
+        census = self.census
+        idx = census.interner.intern(payload.pna_id)
+        census.touch(idx, payload.state, payload.instance_id, now)
 
         if payload.state is PNAState.IDLE:
-            # An idle PNA may have silently left an instance earlier.
-            for record in self.instances.values():
-                record.drop_member(payload.pna_id)
+            # An idle PNA may have silently left an instance earlier —
+            # the reverse membership index makes this O(1) for the
+            # common case of a node that belongs to nothing.
+            census.drop_from_all(idx)
             return
 
         instance_id = payload.instance_id
@@ -430,13 +563,13 @@ class Controller:
         trims = self._pending_trims.get(instance_id, 0)
         if trims > 0:
             self._pending_trims[instance_id] = trims - 1
-            record.drop_member(payload.pna_id)
+            census.drop_member(record.census_handle, idx)
             record.trims_sent += 1
             if self._m_trim is not None:
                 self._m_trim.value += 1
             self._reply_reset(payload.pna_id)
             return
-        record.mark_member(payload.pna_id, now)
+        census.mark_member(record.census_handle, idx, now)
 
     def _reply_reset(self, pna_id: str) -> None:
         if not self.router.has_pna(pna_id):
@@ -470,6 +603,12 @@ class Controller:
             trace.emit(now, "maintenance_round",
                        instances=len(self.instances),
                        registry=len(self.registry))
+        if self._m_registry is not None:
+            # Census gauges: pure array reductions on the columnar store.
+            horizon = now - self._grace_window()
+            self._m_registry.set(self.census.registry_size())
+            self._m_idle.set(self.census.idle_estimate(horizon))
+            self._m_alive.set(self.census.alive_estimate(horizon))
         for record in list(self.instances.values()):
             if record.status is InstanceStatus.DESTROYED:
                 continue
@@ -488,6 +627,9 @@ class Controller:
                     self._publish_reset(record)
                 if record.size == 0:
                     record.status = InstanceStatus.DESTROYED
+                    # Memory hygiene for long runs: the store column of
+                    # a destroyed (empty) instance is released.
+                    record.release_census()
                 continue
 
             if (record.spec.lifetime_s is not None
@@ -541,10 +683,11 @@ class Controller:
         self._healthy_rounds = 0
         self.mttr_history.append(mttr)
         self.counters.incr("recoveries")
+        if self._m_mttr is not None:
+            self._m_mttr.observe(mttr)
         trace = self._trace
         if trace is not None:
             trace.emit(now, "recovered", mttr_s=mttr)
-            self._m_mttr.observe(mttr)
 
     def _rebalance(self, record: InstanceRecord) -> None:
         band = record.spec.size_tolerance * record.spec.target_size
@@ -608,12 +751,12 @@ class Controller:
         if trace is not None:
             trace.emit(now, "crash", instances=len(self.instances),
                        registry=len(self.registry))
-        # Volatile state dies with the process.
-        self.registry.clear()
+        # Volatile state dies with the process: one store-wide wipe
+        # clears the registry and every instance's membership column.
+        self.census.clear()
         self._pending_trims.clear()
         self._pending_resets.clear()
         for record in self.instances.values():
-            record.members.clear()
             if record.status not in (InstanceStatus.DISMANTLING,
                                      InstanceStatus.DESTROYED):
                 # The census reads zero while down — availability
@@ -644,7 +787,12 @@ class Controller:
                 cp.instances:
             record = self.instances.get(iid)
             if record is None:
-                record = InstanceRecord(iid, spec, created_at)
+                record = InstanceRecord(iid, spec, created_at,
+                                        census=self.census)
+            else:
+                # Identity-preserving re-bind: membership restarts empty
+                # and reconciles from post-restart heartbeats.
+                record.bind_census(self.census)
             record.spec = spec
             record.created_at = created_at
             record.members.clear()
@@ -659,6 +807,10 @@ class Controller:
             restored[iid] = record
             if iid not in self.size_history:
                 self.size_history[iid] = TimeSeries(f"size:{iid}")
+        for iid, record in self.instances.items():
+            if iid not in restored:
+                # Not in the checkpoint: release its store column.
+                record.release_census()
         self.instances = restored
         self.registry.clear()
         self._pending_trims.clear()
@@ -666,6 +818,7 @@ class Controller:
         self.router.register_component(
             self.controller_id, self._receive,
             receive_batch=self._receive_batch,
+            receive_cohort=self._receive_cohort,
             receive_payload=self._receive_payload)
         self._maintenance_proc = self.sim.process(self._maintenance_loop())
         # MTTR counts from the moment of the crash, not the restart.  A

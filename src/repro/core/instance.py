@@ -84,24 +84,79 @@ class InstanceStatus(enum.Enum):
 
 
 class InstanceRecord:
-    """Controller-side mutable state of one OddCI instance."""
+    """Controller-side mutable state of one OddCI instance.
+
+    Membership lives in a :class:`~repro.core.census.CensusStore`
+    column the record is *bound* to (:meth:`bind_census`): the
+    Controller binds every record to its shared census so heartbeat
+    cohorts can refresh whole membership groups columnar-ly.  A record
+    built standalone (tests, ad-hoc bookkeeping) lazily binds a private
+    dict-backed store on first membership operation, so the historical
+    dict semantics — including insertion-ordered iteration — are
+    preserved without a census in sight.  ``members`` is a live
+    dict-shaped view either way.
+    """
 
     def __init__(self, instance_id: str, spec: InstanceSpec,
-                 created_at: float) -> None:
+                 created_at: float, *, census=None) -> None:
         self.instance_id = instance_id
         self.spec = spec
         self.created_at = created_at
         self.status = InstanceStatus.PROVISIONING
-        #: pna_id -> last heartbeat time
-        self.members: dict[str, float] = {}
         self.wakeups_sent = 0
         self.resets_sent = 0
         self.trims_sent = 0
+        self._census = None
+        self._handle = -1
+        self._members_view = None
+        if census is not None:
+            self.bind_census(census)
+
+    # -- census binding --------------------------------------------------
+    def bind_census(self, census) -> None:
+        """Attach this record's membership to ``census``.
+
+        Idempotent for the same store; re-binding to a different store
+        (controller restore builds a fresh census) starts from empty
+        membership, which is exactly restore's contract."""
+        from repro.core.census import MembersView
+
+        self._census = census
+        self._handle = census.bind_instance(self.instance_id)
+        self._members_view = MembersView(census, self._handle)
+
+    def release_census(self) -> None:
+        """Free the store column (record destroyed / dropped by restore)."""
+        if self._census is not None:
+            self._census.release_instance(self.instance_id)
+
+    def _ensure_census(self):
+        if self._census is None:
+            from repro.core.census import DictCensusStore
+
+            self.bind_census(DictCensusStore())
+        return self._census
+
+    @property
+    def census(self):
+        return self._census
+
+    @property
+    def census_handle(self) -> int:
+        return self._handle
+
+    @property
+    def members(self):
+        """Live ``pna_id -> last heartbeat`` view of the membership."""
+        self._ensure_census()
+        return self._members_view
 
     @property
     def size(self) -> int:
         """Current membership count (from consolidated heartbeats)."""
-        return len(self.members)
+        if self._census is None:
+            return 0
+        return self._census.member_count(self._handle)
 
     @property
     def deficit(self) -> int:
@@ -122,14 +177,19 @@ class InstanceRecord:
                            InstanceStatus.DESTROYED):
             raise InstanceError(
                 f"instance {self.instance_id} no longer accepts members")
-        self.members[pna_id] = now
+        census = self._ensure_census()
+        census.mark_member(self._handle, census.interner.intern(pna_id), now)
 
     def drop_member(self, pna_id: str) -> None:
-        self.members.pop(pna_id, None)
+        census = self._census
+        if census is None:
+            return
+        idx = census.interner.index_of(pna_id)
+        if idx is not None:
+            census.drop_member(self._handle, idx)
 
     def expire_members(self, cutoff: float) -> int:
         """Remove members whose last heartbeat predates ``cutoff``."""
-        stale = [pid for pid, t in self.members.items() if t < cutoff]
-        for pid in stale:
-            del self.members[pid]
-        return len(stale)
+        if self._census is None:
+            return 0
+        return self._census.expire_members(self._handle, cutoff)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.core.census import NodeInterner
 from repro.errors import LinkDownError, NetworkError
 from repro.net.link import DuplexChannel
 from repro.net.message import DEFAULT_HEADER_BITS, Message
@@ -25,6 +26,10 @@ ReceiveFn = Callable[[Message], None]
 #: Batched receive callback: a list of payloads arriving together.
 ReceiveBatchFn = Callable[[list], None]
 
+#: Cohort receive callback: (payloads, interned index array) — the
+#: columnar fast path for same-instant heartbeat cohorts.
+ReceiveCohortFn = Callable[[list, Any], None]
+
 #: Bare-payload receive callback (quiet fast path, no Message wrapper).
 ReceivePayloadFn = Callable[[Any], None]
 
@@ -35,8 +40,13 @@ class Router:
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
+        #: shared node-id interning table: the Router assigns every
+        #: registered PNA its dense index, and census stores built on
+        #: this fabric share the table (see repro.core.census).
+        self.interner = NodeInterner()
         self._components: Dict[str, ReceiveFn] = {}
         self._batch_receivers: Dict[str, ReceiveBatchFn] = {}
+        self._cohort_receivers: Dict[str, ReceiveCohortFn] = {}
         self._payload_receivers: Dict[str, ReceivePayloadFn] = {}
         self._pna_channels: Dict[str, DuplexChannel] = {}
         self._pna_receivers: Dict[str, ReceiveFn] = {}
@@ -51,6 +61,7 @@ class Router:
     def register_component(self, component_id: str, receive: ReceiveFn,
                            *,
                            receive_batch: Optional[ReceiveBatchFn] = None,
+                           receive_cohort: Optional[ReceiveCohortFn] = None,
                            receive_payload: Optional[ReceivePayloadFn] = None,
                            ) -> None:
         """Register a component receive callback.
@@ -60,6 +71,12 @@ class Router:
         :meth:`send_heartbeats`), it is called once with the list of
         payloads instead of once per :class:`Message`.  Components
         without one receive per-payload fallback messages.
+
+        ``receive_cohort`` — optional columnar entry point, preferred
+        over ``receive_batch`` for cohort deliveries: called as
+        ``receive_cohort(payloads, idxs)`` where ``idxs`` holds each
+        payload's interned node index (same order), so a census-backed
+        component can consolidate the whole cohort as array writes.
 
         ``receive_payload`` — optional bare-payload entry point: quiet
         sends addressed to this component skip the :class:`Message`
@@ -71,18 +88,26 @@ class Router:
         self._components[component_id] = receive
         if receive_batch is not None:
             self._batch_receivers[component_id] = receive_batch
+        if receive_cohort is not None:
+            self._cohort_receivers[component_id] = receive_cohort
         if receive_payload is not None:
             self._payload_receivers[component_id] = receive_payload
 
     def unregister_component(self, component_id: str) -> None:
         self._components.pop(component_id, None)
         self._batch_receivers.pop(component_id, None)
+        self._cohort_receivers.pop(component_id, None)
         self._payload_receivers.pop(component_id, None)
 
     def register_pna(self, pna_id: str, channel: DuplexChannel,
                      receive: ReceiveFn, *,
                      receive_payload: Optional[ReceivePayloadFn] = None,
-                     ) -> None:
+                     ) -> int:
+        """Register a PNA; returns its dense interned node index.
+
+        The index is stable across shutdown/restart cycles (the
+        interner is append-only), so heartbeat cohorts cache it and
+        ship it alongside each payload for columnar consolidation."""
         if pna_id in self._pna_channels:
             raise NetworkError(f"PNA {pna_id!r} already registered")
         self._pna_channels[pna_id] = channel
@@ -92,6 +117,7 @@ class Router:
         channel.uplink.attach(self._deliver_to_component)
         channel.downlink.attach(
             lambda msg, pna_id=pna_id: self._deliver_to_pna(pna_id, msg))
+        return self.interner.intern(pna_id)
 
     def unregister_pna(self, pna_id: str) -> None:
         self._pna_channels.pop(pna_id, None)
@@ -219,9 +245,9 @@ class Router:
         receive(payload)
 
     # -- batched heartbeats ----------------------------------------------
-    def send_heartbeats(self, entries: List[Tuple[str, Any]],
+    def send_heartbeats(self, entries: List[Tuple[str, Any, int]],
                         recipient: str, payload_bits: float) -> None:
-        """Uplink-send one heartbeat payload per ``(pna_id, payload)``.
+        """Uplink-send one heartbeat per ``(pna_id, payload, idx)``.
 
         The cohort fast path: each member's uplink is reserved through
         :meth:`~repro.net.link.Link.offer` (identical FIFO math, byte
@@ -229,11 +255,16 @@ class Router:
         bucketed by arrival time so each distinct arrival instant costs
         **one** calendar entry instead of one Event + Message per PNA.
         With a homogeneous fleet that is a single entry per tick.
+
+        ``idx`` is the sender's interned node index (from
+        :meth:`register_pna`); it rides along so a cohort-capable
+        recipient can consolidate the batch columnar-ly without N
+        string lookups.
         """
         size_bits = payload_bits + DEFAULT_HEADER_BITS
         channels = self._pna_channels
         buckets: Dict[float, list] = {}
-        for pna_id, payload in entries:
+        for pna_id, payload, idx in entries:
             channel = channels.get(pna_id)
             if channel is None:
                 continue  # node vanished; the old per-PNA timer is gone too
@@ -243,7 +274,7 @@ class Router:
             bucket = buckets.get(deliver_at)
             if bucket is None:
                 buckets[deliver_at] = bucket = []
-            bucket.append((channel.uplink, payload))
+            bucket.append((channel.uplink, payload, idx))
         sent_at = self.sim.now
         for deliver_at, batch in buckets.items():
             self.sim.call_at(deliver_at, self._deliver_batch, recipient,
@@ -251,11 +282,16 @@ class Router:
 
     def _deliver_batch(self, recipient: str, payload_bits: float,
                        sent_at: float, batch: list) -> None:
-        for link, _payload in batch:
+        for link, _payload, _idx in batch:
             link.count_delivery()
+        receive_cohort = self._cohort_receivers.get(recipient)
+        if receive_cohort is not None:
+            receive_cohort([payload for _link, payload, _idx in batch],
+                           [idx for _link, _payload, idx in batch])
+            return
         receive_batch = self._batch_receivers.get(recipient)
         if receive_batch is not None:
-            receive_batch([payload for _link, payload in batch])
+            receive_batch([payload for _link, payload, _idx in batch])
             return
         receive = self._components.get(recipient)
         if receive is None:
@@ -264,7 +300,7 @@ class Router:
         # Per-message fallback for components without a batch entry point
         # (aggregators, test doubles): reconstruct what link.send would
         # have delivered.
-        for _link, payload in batch:
+        for _link, payload, _idx in batch:
             receive(Message(sender=payload.pna_id, recipient=recipient,
                             payload=payload, payload_bits=payload_bits,
                             created_at=sent_at))

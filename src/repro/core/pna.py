@@ -95,7 +95,10 @@ class _HeartbeatCohort:
                 pna._hb_payload = payload = HeartbeatPayload(
                     pna_id=pna.pna_id, state=pna.state,
                     instance_id=pna.instance_id)
-            entries.append((pna.pna_id, payload))
+            # census_idx rides along so the receiving Controller can
+            # consolidate the cohort as columnar writes (no string
+            # lookups); see Router.send_heartbeats.
+            entries.append((pna.pna_id, payload, pna.census_idx))
         if entries:
             self.router.send_heartbeats(entries, self.controller_id,
                                         CONTROL_PAYLOAD_BITS)
@@ -172,8 +175,11 @@ class PNA:
         self._hb_cohort: Optional[_HeartbeatCohort] = None
         self._trace = _telemetry_channel("pna")
 
-        router.register_pna(pna_id, channel, self._on_downlink,
-                            receive_payload=self._on_downlink_payload)
+        #: dense interned node index assigned by the router — cohort
+        #: ticks attach it to each heartbeat for columnar consolidation.
+        self.census_idx = router.register_pna(
+            pna_id, channel, self._on_downlink,
+            receive_payload=self._on_downlink_payload)
         self._join_heartbeat_cohort()
 
     @property

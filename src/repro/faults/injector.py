@@ -89,10 +89,15 @@ class FaultInjector:
         self.plan = plan
         self.targets = targets
         self.fired: List[tuple] = []
+        # Trace events gate on the channel; metrics gate on the metric
+        # objects (ambient registry), so metrics-on/trace-off runs still
+        # count injections.
         self._trace = telemetry.channel("fault")
-        t = self._trace
-        self._m_injected = t.counter("fault.injected") if t else None
-        self._m_restored = t.counter("fault.restored") if t else None
+        registry = telemetry.metrics_registry()
+        self._m_injected = registry.counter("fault.injected") \
+            if registry else None
+        self._m_restored = registry.counter("fault.restored") \
+            if registry else None
         rng = sim.rng(rng_stream) if plan.events else None
         self._schedule(plan, rng)
 
@@ -119,19 +124,21 @@ class FaultInjector:
 
     def _fire(self, ev: FaultEvent) -> None:
         self.fired.append((self.sim.now, ev.kind))
+        if self._m_injected is not None:
+            self._m_injected.inc()
         t = self._trace
         if t is not None:
             t.emit(self.sim.now, "inject", kind=ev.kind,
                    duration_s=ev.duration_s, magnitude=ev.magnitude,
                    target=ev.target)
-            self._m_injected.inc()
         getattr(self, f"_fire_{ev.kind}")(ev)
 
     def _restored(self, kind: str, **fields) -> None:
+        if self._m_restored is not None:
+            self._m_restored.inc()
         t = self._trace
         if t is not None:
             t.emit(self.sim.now, "restore", kind=kind, **fields)
-            self._m_restored.inc()
 
     def _note_disruption(self) -> None:
         controller = self.targets.controller

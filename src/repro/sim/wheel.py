@@ -58,8 +58,8 @@ class TimerWheel:
     """
 
     __slots__ = ("sim", "interval_s", "name", "jitter_s", "_rng_stream",
-                 "_subs", "_next_token", "_armed", "_origin", "_k",
-                 "_epoch", "ticks", "_trace")
+                 "_subs", "_sub_list", "_next_token", "_armed", "_origin",
+                 "_k", "_epoch", "ticks", "_trace")
 
     def __init__(
         self,
@@ -82,6 +82,10 @@ class TimerWheel:
         self.jitter_s = float(jitter_s)
         self._rng_stream = rng_stream or f"wheel:{name}"
         self._subs: Dict[int, TickFn] = {}
+        #: cached snapshot of ``_subs.values()`` in subscription order,
+        #: invalidated on (un)subscribe — avoids a fresh list allocation
+        #: on every tick of a stable cohort.
+        self._sub_list: Optional[list] = None
         self._next_token = 0
         self._armed = False
         self._origin = 0.0
@@ -109,6 +113,7 @@ class TimerWheel:
         token = self._next_token
         self._next_token += 1
         self._subs[token] = callback
+        self._sub_list = None
         if not self._armed:
             self._arm()
         return token
@@ -120,6 +125,7 @@ class TimerWheel:
         simply does not reschedule itself.
         """
         self._subs.pop(token, None)
+        self._sub_list = None
 
     # -- ticking ---------------------------------------------------------
     def _arm(self) -> None:
@@ -150,7 +156,12 @@ class TimerWheel:
         if trace is not None:
             trace.emit(tick_time, "wheel_flush", wheel=self.name,
                        subscribers=len(subs))
-        for callback in list(subs.values()):
+        # The cached snapshot keeps iteration safe against subscriber
+        # churn *during* the flush (which also invalidates the cache).
+        callbacks = self._sub_list
+        if callbacks is None:
+            self._sub_list = callbacks = list(subs.values())
+        for callback in callbacks:
             callback(tick_time)
         if subs:
             self._schedule_next(epoch)

@@ -82,6 +82,7 @@ __all__ = [
     "uninstall",
     "current",
     "channel",
+    "metrics_registry",
     "active",
 ]
 
@@ -256,6 +257,18 @@ def channel(category: str) -> Optional[TraceChannel]:
     if tracer is None:
         return None
     return tracer._channels.get(category)
+
+
+def metrics_registry() -> Optional[MetricsRegistry]:
+    """The ambient tracer's metrics registry, or ``None``.
+
+    Metrics and trace events gate independently: a component whose
+    *category* is disabled still contributes metrics when a tracer is
+    installed.  Constructors resolve their metric objects through this
+    hook and guard each bump on the object (``if self._m_x is not
+    None``), never on the channel."""
+    tracer = _CURRENT
+    return None if tracer is None else tracer.metrics
 
 
 @contextmanager

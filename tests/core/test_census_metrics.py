@@ -103,7 +103,11 @@ def test_live_system_batched_vs_fallback_delivery():
         with active(tracer):
             system = _build_system()
             if remove_batch_receiver:
+                # Both bulk entry points must go for the router to fall
+                # back to per-Message delivery.
                 system.router._batch_receivers.pop(
+                    system.controller.controller_id)
+                system.router._cohort_receivers.pop(
                     system.controller.controller_id)
             job = uniform_bag(12, image_bits=1e6, ref_seconds=20.0)
             submission = system.provider.submit_job(job, target_size=4)
@@ -115,6 +119,52 @@ def test_live_system_batched_vs_fallback_delivery():
     fallback = run(remove_batch_receiver=True)
     assert batched == fallback
     assert batched["census.heartbeats"] > 0
+
+
+def test_cohort_vs_batch_delivery_census_identical():
+    """The columnar cohort entry point and the plain batch entry point
+    consolidate identical census metrics for a live fleet (the cohort
+    path is the default; popping only the cohort receiver downgrades
+    delivery to ``_receive_batch``)."""
+
+    def run(remove_cohort_receiver):
+        tracer = Tracer("control")
+        with active(tracer):
+            system = _build_system(n_pnas=24)
+            if remove_cohort_receiver:
+                system.router._cohort_receivers.pop(
+                    system.controller.controller_id)
+            job = uniform_bag(12, image_bits=1e6, ref_seconds=20.0)
+            submission = system.provider.submit_job(job, target_size=4)
+            system.provider.run_job_to_completion(submission, limit_s=1e6)
+            system.sim.run(until=system.sim.now + 100.0)
+        return _census(tracer)
+
+    assert run(False) == run(True)
+
+
+def test_metrics_enabled_trace_disabled_still_counts():
+    """Satellite regression: a tracer whose *control category is off*
+    must still count census metrics — the bumps gate on the metric
+    objects, not on the trace channel."""
+    tracer = Tracer("runner")  # control channel disabled, registry live
+    with active(tracer):
+        system = _build_system()
+        controller = system.controller
+        assert controller._trace is None
+        assert controller._m_heartbeats is not None
+        payloads = _payload_mix(system)
+        record = next(iter(controller.instances.values()))
+        controller._pending_trims[record.instance_id] = 2
+        controller._receive_batch(payloads)
+    census = _census(tracer)
+    assert census["census.heartbeats"] == 11
+    assert census["census.stale_resets"] == 3
+    assert census["census.trim_resets"] == 2
+    counters = tracer.metrics.snapshot()["counters"]
+    assert counters["delivery.batches"] == 1
+    # No control trace events were emitted (the category is off).
+    assert not [e for e in tracer.events() if e[1] == "control"]
 
 
 def test_untraced_controller_counts_nothing_but_still_consolidates():
