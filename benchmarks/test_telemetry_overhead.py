@@ -12,6 +12,9 @@ scenario: ``pytest benchmarks/test_telemetry_overhead.py --run-perf``.
 A structural (noise-free) zero-cost check runs unconditionally.
 """
 
+import ast
+from pathlib import Path
+
 import pytest
 
 from repro.perfbench import run_telemetry_overhead
@@ -35,6 +38,71 @@ def test_disabled_tracer_leaves_kernel_state_none():
     assert sim2._ktrace is None
     assert sim2._kfast is None
     assert sim2.trace is None
+
+
+# Modules on the simulation hot path: every trace emission in these
+# files must be lexically nested under an ``is (not) None`` guard so
+# that the disabled path never builds the event tuple / field dict.
+HOT_MODULES = (
+    "net/link.py",
+    "net/broadcast.py",
+    "core/pna.py",
+    "core/backend.py",
+    "core/network.py",
+    "core/controller.py",
+    "core/dve.py",
+    "core/taskloop.py",
+    "sim/core.py",
+    "sim/wheel.py",
+    "carousel/carousel.py",
+    "faults/injector.py",
+)
+
+
+def _has_none_compare(test_node):
+    return any(
+        isinstance(node, ast.Compare)
+        and any(isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops)
+        and any(isinstance(c, ast.Constant) and c.value is None
+                for c in node.comparators)
+        for node in ast.walk(test_node))
+
+
+def test_hot_path_emit_sites_are_none_guarded():
+    """Structural audit: ``.emit()`` in hot modules only runs behind a
+    ``X is not None`` check.
+
+    The field dict an emit call builds is the dominant disabled-path
+    allocation; an unguarded site pays it on every event even with
+    telemetry off.  This walks each hot module's AST and requires every
+    emit call to have an ancestor ``if`` whose test compares against
+    ``None`` — the `t = self._trace / if t is not None` idiom.
+    """
+    src_root = Path(__file__).resolve().parents[1] / "src" / "repro"
+    offenders, total = [], 0
+    for rel in HOT_MODULES:
+        path = src_root / rel
+        tree = ast.parse(path.read_text(), filename=str(path))
+        parents = {child: parent for parent in ast.walk(tree)
+                   for child in ast.iter_child_nodes(parent)}
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "emit"):
+                continue
+            total += 1
+            cur, guarded = node, False
+            while cur in parents:
+                cur = parents[cur]
+                if isinstance(cur, ast.If) and _has_none_compare(cur.test):
+                    guarded = True
+                    break
+            if not guarded:
+                offenders.append(f"{rel}:{node.lineno}")
+    assert total >= 20, "AST scan found too few emit sites; wrong paths?"
+    assert not offenders, (
+        "unguarded .emit() on the hot path (allocates with telemetry "
+        f"disabled): {offenders}")
 
 
 @pytest.mark.perf

@@ -25,7 +25,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Optional
+from heapq import heappop, heappush
+from typing import Deque, Dict, List, Optional, Sequence, Union
+
+try:  # numpy powers the vectorised cohort lease math; optional.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a baseline dep
+    _np = None
 
 from repro.errors import BackendError
 from repro.core.dve import CONTROL_PAYLOAD_BITS
@@ -65,15 +71,11 @@ class JobReport:
         return self.completed_at - self.submitted_at
 
 
-class _Assignment:
-    __slots__ = ("task", "pna_id", "assigned_at", "lease_deadline")
-
-    def __init__(self, task: Task, pna_id: str, assigned_at: float,
-                 lease_deadline: Optional[float]):
-        self.task = task
-        self.pna_id = pna_id
-        self.assigned_at = assigned_at
-        self.lease_deadline = lease_deadline
+#: In-flight record: ``(task, pna_id, assigned_at, lease_deadline)``.
+#: A bare tuple, not a class — the dispatch tier allocates one per
+#: assignment (millions at 10^6-node scale) and tuples are several
+#: times cheaper to build than slotted instances.
+_T_TASK, _T_PNA, _T_AT, _T_LEASE = range(4)
 
 
 class Backend:
@@ -152,11 +154,20 @@ class Backend:
         elif scheduling == "spt":
             tasks.sort(key=lambda t: t.ref_seconds)
         self._pending: Deque[Task] = deque(tasks)
-        self._in_flight: Dict[int, _Assignment] = {}
+        self._in_flight: Dict[int, tuple] = {}
         self._completed: Dict[int, float] = {}
         self._workers: set[str] = set()
         #: task_id -> set of workers holding a copy (primary + replicas)
         self._holders: Dict[int, set] = {}
+        #: replica-candidate index: a min-heap of
+        #: ``(assigned_at, assign_seq, task_id)`` pushed per primary
+        #: assignment (replication mode only).  Entries are validated
+        #: lazily on pop — completed/requeued assignments are stale
+        #: (``assigned_at`` no longer matches), fully-replicated tasks
+        #: are discarded for good — so candidate search is amortised
+        #: O(log n) instead of a full in-flight scan per idle poll.
+        self._replica_queue: List[tuple] = []
+        self._assign_seq = 0
         self.tasks_assigned = 0
         self.duplicates = 0
         self.requeues = 0
@@ -182,6 +193,12 @@ class Backend:
 
         router.register_component(backend_id, self._receive,
                                   receive_payload=self._receive_payload)
+        # Advertise the cohort dispatch tier: PNAs woken for this
+        # backend may drive their DVE loop through a shared
+        # CohortTaskEngine (repro.core.taskloop) instead of per-node
+        # process frames.  Test doubles that never register here keep
+        # every client on the reference path.
+        router.register_task_server(backend_id, self)
         self._lease_proc = None
         if lease_factor is not None:
             self._lease_proc = sim.process(self._lease_loop())
@@ -233,25 +250,42 @@ class Backend:
             raise BackendError(f"backend got unexpected payload {payload!r}")
 
     def _handle_request(self, request: TaskRequest) -> None:
-        self._workers.add(request.pna_id)
+        reply = self._serve_request(request.pna_id, request.instance_id)
+        if type(reply) is NoWork:
+            self._send(request.pna_id, reply, CONTROL_PAYLOAD_BITS)
+            return
+        assignment = TaskAssignment(
+            task_id=reply.task_id, ref_seconds=reply.ref_seconds,
+            input_bits=reply.input_bits, result_bits=reply.result_bits)
+        # The assignment's wire size includes the task input being staged.
+        self._send(request.pna_id, assignment,
+                   CONTROL_PAYLOAD_BITS + reply.input_bits)
+
+    def _serve_request(self, pna_id: str,
+                       instance_id: str) -> Union[Task, NoWork]:
+        """Serve one task request: all scheduling state transitions
+        (bag pop, lease, replica pick, accounting, traces) minus the
+        reply delivery, which the caller owns — the wire path sends a
+        :class:`TaskAssignment`, the cohort engine consumes the
+        :class:`Task` directly."""
+        self._workers.add(pna_id)
         task = self._next_task()
         is_replica = False
         if task is None and self.replicate_tail and not self.done:
-            task = self._pick_replica_candidate(request.pna_id)
+            task = self._pick_replica_candidate(pna_id)
             is_replica = task is not None
         if task is None:
             # Bag empty: if the job is done the worker can stop; otherwise
             # tasks are in flight and might be re-queued — poll again.
             retry = None if self.done else self.poll_interval_s
-            cache_key = (request.instance_id, retry)
+            cache_key = (instance_id, retry)
             reply = self._nowork_cache.get(cache_key)
             if reply is None:
-                reply = NoWork(instance_id=request.instance_id,
-                               retry_after_s=retry)
+                reply = NoWork(instance_id=instance_id, retry_after_s=retry)
                 self._nowork_cache[cache_key] = reply
-            self._send(request.pna_id, reply, CONTROL_PAYLOAD_BITS)
-            return
+            return reply
         if not is_replica:
+            now = self.sim.now
             lease = None
             if self.lease_factor is not None:
                 lease_s = self.lease_factor * (
@@ -269,64 +303,150 @@ class Backend:
                     if self.lease_backoff_jitter > 0.0:
                         lease_s *= 1.0 + self.lease_backoff_jitter * float(
                             self.sim.rng(self._backoff_stream).random())
-                lease = self.sim.now + lease_s
-            self._in_flight[task.task_id] = _Assignment(
-                task, request.pna_id, self.sim.now, lease)
+                lease = now + lease_s
+            self._in_flight[task.task_id] = (task, pna_id, now, lease)
             self.tasks_assigned += 1
+            if self.replicate_tail:
+                self._assign_seq += 1
+                heappush(self._replica_queue,
+                         (now, self._assign_seq, task.task_id))
         else:
             self.replicas_issued += 1
         if self.replicate_tail:
             # Copy-holder tracking only matters for replica placement;
             # skip the per-task set when replication is off.
-            self._holders.setdefault(task.task_id, set()).add(request.pna_id)
+            self._holders.setdefault(task.task_id, set()).add(pna_id)
         trace = self._trace
         if trace is not None:
             trace.emit(self.sim.now, "dispatch", task=task.task_id,
-                       pna=request.pna_id, replica=is_replica)
-        assignment = TaskAssignment(
-            task_id=task.task_id, ref_seconds=task.ref_seconds,
-            input_bits=task.input_bits, result_bits=task.result_bits)
-        # The assignment's wire size includes the task input being staged.
-        self._send(request.pna_id, assignment,
-                   CONTROL_PAYLOAD_BITS + task.input_bits)
+                       pna=pna_id, replica=is_replica)
+        return task
+
+    # -- cohort dispatch tier ------------------------------------------------
+    def receive_request_cohort(self, requesters: Sequence[str],
+                               instance_id: str) -> list:
+        """Serve a same-instant batch of task requests in one pass.
+
+        Equivalent to calling the scalar handler once per requester *in
+        order* — same bag pops, lease values, accounting and traces —
+        with the plain-FIFO case vectorised: when the bag covers the
+        whole cohort and neither tail replication nor lease backoff can
+        alter an individual assignment, the leases come out of one
+        numpy expression (bit-identical op order to the scalar path).
+        Returns one reply per requester: a :class:`Task` or a shared
+        :class:`NoWork`.  The caller owns delivery.
+        """
+        pending = self._pending
+        k = len(requesters)
+        if (len(pending) >= k and not self.replicate_tail
+                and (not self._attempts
+                     or (self.lease_backoff_base == 1.0
+                         and self.lease_backoff_jitter == 0.0))):
+            now = self.sim.now
+            tasks = [pending.popleft() for _ in range(k)]
+            lease_factor = self.lease_factor
+            if lease_factor is None:
+                leases: Sequence[Optional[float]] = (None,) * k
+            elif _np is not None and k >= 32:
+                refs = _np.fromiter((t.ref_seconds for t in tasks),
+                                    _np.float64, k)
+                leases = (now + lease_factor *
+                          (refs * self.worst_case_slowdown
+                           + self.poll_interval_s)).tolist()
+            else:
+                wcs = self.worst_case_slowdown
+                poll = self.poll_interval_s
+                leases = [now + lease_factor * (t.ref_seconds * wcs + poll)
+                          for t in tasks]
+            workers_add = self._workers.add
+            in_flight = self._in_flight
+            for pna_id, task, lease in zip(requesters, tasks, leases):
+                workers_add(pna_id)
+                in_flight[task.task_id] = (task, pna_id, now, lease)
+            self.tasks_assigned += k
+            trace = self._trace
+            if trace is not None:
+                for i in range(k):
+                    trace.emit(now, "dispatch", task=tasks[i].task_id,
+                               pna=requesters[i], replica=False)
+            return tasks
+        return [self._serve_request(pna_id, instance_id)
+                for pna_id in requesters]
 
     def _pick_replica_candidate(self, requester: str) -> Optional[Task]:
         """Straggler mitigation: replicate the oldest in-flight task whose
         copy count is below ``max_replicas`` and which the requester is
-        not already computing."""
-        best: Optional[_Assignment] = None
+        not already computing.
+
+        Served from :attr:`_replica_queue`; entries the requester
+        already holds are set aside and pushed back so they stay
+        available to other requesters."""
+        heap = self._replica_queue
+        in_flight = self._in_flight
+        holders_map = self._holders
+        max_replicas = self.max_replicas
+        skipped = []
+        found: Optional[Task] = None
+        while heap:
+            assigned_at, _seq, task_id = heap[0]
+            assignment = in_flight.get(task_id)
+            if assignment is None or assignment[_T_AT] != assigned_at:
+                heappop(heap)  # completed or requeued: stale entry
+                continue
+            holders = holders_map.get(task_id)
+            if holders is not None and len(holders) >= max_replicas:
+                heappop(heap)  # fully replicated: never a candidate again
+                continue
+            if holders is not None and requester in holders:
+                skipped.append(heappop(heap))
+                continue
+            found = assignment[_T_TASK]
+            break
+        for entry in skipped:
+            heappush(heap, entry)
+        return found
+
+    def _pick_replica_candidate_scan(self, requester: str) -> Optional[Task]:
+        """Reference implementation of :meth:`_pick_replica_candidate`
+        (full in-flight scan) — kept as the parity oracle."""
+        best: Optional[tuple] = None
         for task_id, assignment in self._in_flight.items():
             holders = self._holders.get(task_id, set())
             if requester in holders or len(holders) >= self.max_replicas:
                 continue
-            if best is None or assignment.assigned_at < best.assigned_at:
+            if best is None or assignment[_T_AT] < best[_T_AT]:
                 best = assignment
-        return best.task if best is not None else None
+        return best[_T_TASK] if best is not None else None
 
     def _handle_result(self, result: TaskResultPayload) -> None:
-        if result.task_id in self._completed:
+        self.receive_result(result.pna_id, result.task_id)
+
+    def receive_result(self, pna_id: str, task_id: int) -> None:
+        """Accept one task result (wire payload or cohort engine)."""
+        if task_id in self._completed:
             self._suppress_duplicate()
             return
-        assignment = self._in_flight.pop(result.task_id, None)
+        assignment = self._in_flight.pop(task_id, None)
         if assignment is None:
             # lease expired and the task was re-queued but the original
             # worker finished anyway: accept the result, cancel the requeue
             for i, t in enumerate(self._pending):
-                if t.task_id == result.task_id:
+                if t.task_id == task_id:
                     del self._pending[i]
                     break
             else:
                 self._suppress_duplicate()
                 return
-        self._completed[result.task_id] = self.sim.now
-        self._holders.pop(result.task_id, None)
-        self._attempts.pop(result.task_id, None)
+        self._completed[task_id] = self.sim.now
+        self._holders.pop(task_id, None)
+        self._attempts.pop(task_id, None)
         trace = self._trace
         if trace is not None:
-            trace.emit(self.sim.now, "complete", task=result.task_id,
-                       pna=result.pna_id, done=len(self._completed),
+            trace.emit(self.sim.now, "complete", task=task_id,
+                       pna=pna_id, done=len(self._completed),
                        total=self.job.n)
-        if self.done and not self.done_event.triggered:
+        if len(self._completed) == self.job.n \
+                and not self.done_event.triggered:
             if trace is not None:
                 trace.emit(self.sim.now, "job_done", job=self.job.job_id,
                            tasks=self.job.n)
@@ -355,17 +475,17 @@ class Backend:
                 yield self.lease_check_interval_s
                 now = self.sim.now
                 expired = [tid for tid, a in self._in_flight.items()
-                           if a.lease_deadline is not None
-                           and a.lease_deadline < now]
+                           if a[_T_LEASE] is not None
+                           and a[_T_LEASE] < now]
                 trace = self._trace
                 for tid in expired:
                     assignment = self._in_flight.pop(tid)
-                    self._pending.append(assignment.task)
+                    self._pending.append(assignment[_T_TASK])
                     self.requeues += 1
                     self._attempts[tid] = self._attempts.get(tid, 0) + 1
                     if trace is not None:
                         trace.emit(now, "requeue", task=tid,
-                                   pna=assignment.pna_id,
+                                   pna=assignment[_T_PNA],
                                    attempt=self._attempts[tid])
                         self._m_redispatched.value += 1
         except Interrupt:
@@ -410,5 +530,6 @@ class Backend:
         """Unregister from the router and stop background processes."""
         if self.alive:
             self.router.unregister_component(self.backend_id)
+        self.router.unregister_task_server(self.backend_id, self)
         if self._lease_proc is not None and self._lease_proc.alive:
             self._lease_proc.interrupt("backend shutdown")

@@ -55,6 +55,12 @@ class Router:
         #: owned by the PNAs (see repro.core.pna) but stored here because
         #: the cohort is a property of the shared network fabric.
         self._cohorts: Dict[tuple, Any] = {}
+        #: cohort-capable task servers (Backends) by component id, and
+        #: the per-instance task engines built on them — see
+        #: repro.core.taskloop.  Stored here for the same reason as
+        #: ``_cohorts``: the engine is shared fabric, not per-node state.
+        self._task_servers: Dict[str, Any] = {}
+        self._task_engines: Dict[str, Any] = {}
         self.undeliverable = 0
 
     # -- registration ----------------------------------------------------
@@ -99,6 +105,26 @@ class Router:
         self._cohort_receivers.pop(component_id, None)
         self._payload_receivers.pop(component_id, None)
 
+    def register_task_server(self, component_id: str, server: Any) -> None:
+        """Advertise ``server`` (a Backend) as cohort-dispatch capable.
+
+        PNAs woken for this component id may then join a shared
+        :class:`~repro.core.taskloop.CohortTaskEngine` instead of
+        running per-node DVE processes.  Unlike component registration
+        this survives :meth:`unregister_component` (a crashed Backend
+        keeps owning its id — in-flight cohort traffic goes
+        undeliverable exactly like the wire path); only
+        :meth:`unregister_task_server` removes it.
+        """
+        self._task_servers[component_id] = server
+
+    def unregister_task_server(self, component_id: str,
+                               server: Any = None) -> None:
+        """Remove a task server; with ``server`` given, only if it is
+        still the registered one (a replacement stays)."""
+        if server is None or self._task_servers.get(component_id) is server:
+            self._task_servers.pop(component_id, None)
+
     def register_pna(self, pna_id: str, channel: DuplexChannel,
                      receive: ReceiveFn, *,
                      receive_payload: Optional[ReceivePayloadFn] = None,
@@ -114,8 +140,10 @@ class Router:
         self._pna_receivers[pna_id] = receive
         if receive_payload is not None:
             self._pna_payload_receivers[pna_id] = receive_payload
-        channel.uplink.attach(self._deliver_to_component)
-        channel.downlink.attach(
+        # attach() inlined: at 10^6 registrations the two method calls
+        # are measurable, and the router already owns link internals.
+        channel.uplink._receiver = self._deliver_to_component
+        channel.downlink._receiver = (
             lambda msg, pna_id=pna_id: self._deliver_to_pna(pna_id, msg))
         return self.interner.intern(pna_id)
 
@@ -264,43 +292,68 @@ class Router:
         size_bits = payload_bits + DEFAULT_HEADER_BITS
         channels = self._pna_channels
         buckets: Dict[float, list] = {}
+        now = self.sim.now
+        bt = None
+        bt_list = None
         for pna_id, payload, idx in entries:
             channel = channels.get(pna_id)
             if channel is None:
                 continue  # node vanished; the old per-PNA timer is gone too
-            deliver_at = channel.uplink.offer(size_bits)
-            if deliver_at is None:
-                continue  # link down or message lost in flight
-            bucket = buckets.get(deliver_at)
-            if bucket is None:
-                buckets[deliver_at] = bucket = []
-            bucket.append((channel.uplink, payload, idx))
+            link = channel.uplink
+            # Loss-free up-link case inlined (the 10^6-member tick hot
+            # path); lossy/down links go through offer itself so drop
+            # accounting and the loss-draw RNG order stay exact.
+            if link.loss == 0.0 and link._up:
+                start = link._busy_until
+                if now > start:
+                    start = now
+                done = start + size_bits / link.rate_bps
+                link._busy_until = done
+                link._bits_sent += size_bits
+                deliver_at = done + link.latency_s
+            else:
+                deliver_at = link.offer(size_bits)
+                if deliver_at is None:
+                    continue  # link down or message lost in flight
+            # A homogeneous cohort lands every member on the same
+            # arrival instant — memoize the bucket lookup.  Buckets are
+            # struct-of-arrays (links, payloads, idxs): three appends
+            # beat a per-member tuple allocation, and the consolidation
+            # columns reach the receiver without re-packing.
+            if deliver_at != bt:
+                bt = deliver_at
+                bt_list = buckets.get(deliver_at)
+                if bt_list is None:
+                    buckets[deliver_at] = bt_list = ([], [], [])
+            bt_list[0].append(link)
+            bt_list[1].append(payload)
+            bt_list[2].append(idx)
         sent_at = self.sim.now
         for deliver_at, batch in buckets.items():
             self.sim.call_at(deliver_at, self._deliver_batch, recipient,
                              payload_bits, sent_at, batch)
 
     def _deliver_batch(self, recipient: str, payload_bits: float,
-                       sent_at: float, batch: list) -> None:
-        for link, _payload, _idx in batch:
-            link.count_delivery()
+                       sent_at: float, batch: tuple) -> None:
+        links, payloads, idxs = batch
+        for link in links:
+            link._delivered += 1
         receive_cohort = self._cohort_receivers.get(recipient)
         if receive_cohort is not None:
-            receive_cohort([payload for _link, payload, _idx in batch],
-                           [idx for _link, _payload, idx in batch])
+            receive_cohort(payloads, idxs)
             return
         receive_batch = self._batch_receivers.get(recipient)
         if receive_batch is not None:
-            receive_batch([payload for _link, payload, _idx in batch])
+            receive_batch(payloads)
             return
         receive = self._components.get(recipient)
         if receive is None:
-            self.undeliverable += len(batch)
+            self.undeliverable += len(payloads)
             return
         # Per-message fallback for components without a batch entry point
         # (aggregators, test doubles): reconstruct what link.send would
         # have delivered.
-        for _link, payload, _idx in batch:
+        for payload in payloads:
             receive(Message(sender=payload.pna_id, recipient=recipient,
                             payload=payload, payload_bits=payload_bits,
                             created_at=sent_at))

@@ -29,6 +29,12 @@ from repro.core.messages import (
     verify_control,
 )
 from repro.core.network import Router
+from repro.core.taskloop import (
+    CohortDVE,
+    engine_for,
+    identity_executor,
+    resolve_task_path,
+)
 from repro.net.link import DuplexChannel
 from repro.net.message import Message
 from repro.sim.core import Simulator
@@ -85,6 +91,7 @@ class _HeartbeatCohort:
 
     def _tick(self, tick_time: float) -> None:
         entries = []
+        append = entries.append
         for pna, joined_at in self.members.values():
             if joined_at >= tick_time or not pna.online:
                 continue
@@ -98,13 +105,16 @@ class _HeartbeatCohort:
             # census_idx rides along so the receiving Controller can
             # consolidate the cohort as columnar writes (no string
             # lookups); see Router.send_heartbeats.
-            entries.append((pna.pna_id, payload, pna.census_idx))
+            append((pna.pna_id, payload, pna.census_idx))
         if entries:
             self.router.send_heartbeats(entries, self.controller_id,
                                         CONTROL_PAYLOAD_BITS)
 
 #: executor maps reference-PC seconds -> local device seconds.
 Executor = Callable[[float], float]
+
+#: shared by every capability-less PNA; treated as read-only.
+_EMPTY_CAPS: Mapping[str, Any] = {}
 
 
 class PNA:
@@ -124,6 +134,17 @@ class PNA:
         Defaults to the identity (a reference-PC node).
     """
 
+    __slots__ = (
+        "sim", "pna_id", "router", "channel", "controller_key",
+        "_controller_id", "capabilities", "executor",
+        "heartbeat_interval_s", "dve_poll_interval_s", "task_path",
+        "state", "instance_id", "dve", "online", "wakeups_seen",
+        "wakeups_accepted", "dropped_bad_signature", "dropped_busy",
+        "dropped_probability", "dropped_requirements", "resets_handled",
+        "heartbeats_sent", "_hb_payload", "_hb_cohort", "_trace",
+        "census_idx",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -138,6 +159,7 @@ class PNA:
         heartbeat_interval_s: float = 60.0,
         dve_poll_interval_s: float = 30.0,
         start_online: bool = True,
+        task_path: Optional[str] = None,
     ) -> None:
         if not pna_id:
             raise OddCIError("pna_id must be non-empty")
@@ -149,10 +171,20 @@ class PNA:
         self.channel = channel
         self.controller_key = controller_key
         self.controller_id = controller_id
-        self.capabilities: Mapping[str, Any] = dict(capabilities or {})
-        self.executor: Executor = executor or (lambda ref: ref)
+        # Capability-less nodes (the common fleet) share one immutable
+        # empty mapping instead of allocating a dict per PNA.
+        self.capabilities: Mapping[str, Any] = (
+            dict(capabilities) if capabilities else _EMPTY_CAPS)
+        # The shared identity sentinel (not a per-PNA lambda) lets the
+        # cohort engine recognise reference-PC nodes and batch their
+        # compute times.
+        self.executor: Executor = executor or identity_executor
         self.heartbeat_interval_s = heartbeat_interval_s
         self.dve_poll_interval_s = dve_poll_interval_s
+        #: "cohort" (macro engine) or "process" (per-PNA reference path);
+        #: resolved from the argument, then REPRO_TASK_PATH, then the
+        #: default — see repro.core.taskloop.resolve_task_path.
+        self.task_path = resolve_task_path(task_path)
 
         self.state = PNAState.IDLE
         self.instance_id: Optional[str] = None
@@ -233,7 +265,11 @@ class PNA:
         if not matches_requirements(wakeup.requirements, self.capabilities):
             self.dropped_requirements += 1
             return
-        if self.sim.rng(f"pna:{self.pna_id}").random() >= wakeup.probability:
+        # A draw in [0, 1) always accepts when probability >= 1 — skip
+        # not just the draw but the per-PNA generator derivation, which
+        # would otherwise dominate recruitment at 10^6 nodes.
+        if wakeup.probability < 1.0 and self.sim.rng(
+                f"pna:{self.pna_id}").random() >= wakeup.probability:
             self.dropped_probability += 1
             return
         self.wakeups_accepted += 1
@@ -267,6 +303,17 @@ class PNA:
         self._start_dve(wakeup)
 
     def _start_dve(self, wakeup: WakeupPayload) -> None:
+        if self.task_path == "cohort":
+            engine = engine_for(self.router, wakeup.backend_id,
+                                wakeup.instance_id)
+            if engine is not None:
+                self.dve = CohortDVE(engine, self, wakeup.instance_id,
+                                     wakeup.backend_id,
+                                     poll_interval_s=self.dve_poll_interval_s)
+                return
+        # Reference path — also the fallback when no cohort-capable
+        # Backend is registered under this id (test doubles, custom
+        # components): their clients keep exact per-node semantics.
         self.dve = DVE(self.sim, self, wakeup.instance_id,
                        wakeup.backend_id,
                        poll_interval_s=self.dve_poll_interval_s)

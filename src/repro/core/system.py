@@ -47,14 +47,23 @@ class OddCISystem:
         probability_policy: Optional[ProbabilityPolicy] = None,
         maintenance_interval_s: float = 60.0,
         seed: Optional[int] = 0,
+        delta_loss: float = 0.0,
+        task_path: Optional[str] = None,
     ) -> None:
         if delta_bps <= 0:
             raise ConfigurationError("delta_bps must be > 0")
         if delta_latency_s < 0:
             raise ConfigurationError("delta_latency_s must be >= 0")
+        if not 0.0 <= delta_loss < 1.0:
+            raise ConfigurationError("delta_loss must be in [0, 1)")
         self.sim = sim or Simulator(seed=seed)
         self.delta_bps = float(delta_bps)
         self.delta_latency_s = float(delta_latency_s)
+        self.delta_loss = float(delta_loss)
+        #: task-loop implementation handed to every PNA this facade
+        #: builds: "cohort" (macro engine) or "process" (per-PNA
+        #: reference); None defers to REPRO_TASK_PATH / the default.
+        self.task_path = task_path
         self.router = Router(self.sim)
         self.keys = KeyRegistry()
         self.broadcast = BroadcastChannel(self.sim, beta_bps=beta_bps,
@@ -92,6 +101,7 @@ class OddCISystem:
         idx = len(self.pnas)
         channel = DuplexChannel(self.sim, rate_bps=self.delta_bps,
                                 latency_s=self.delta_latency_s,
+                                loss=self.delta_loss,
                                 name=f"pna{idx}.direct")
         pna = PNA(
             self.sim, f"pna-{idx}",
@@ -101,7 +111,8 @@ class OddCISystem:
             capabilities=capabilities,
             executor=executor,
             heartbeat_interval_s=heartbeat_interval_s,
-            dve_poll_interval_s=dve_poll_interval_s)
+            dve_poll_interval_s=dve_poll_interval_s,
+            task_path=self.task_path)
         self.control_plane.attach(pna)
         self.pnas.append(pna)
         return pna

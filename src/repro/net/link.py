@@ -51,6 +51,13 @@ class Link:
         Probability that a message is lost in flight (i.i.d. per message).
     """
 
+    __slots__ = (
+        "sim", "rate_bps", "latency_s", "loss", "name", "_rng_stream",
+        "_ev_name", "_busy_until", "_up", "_delivered", "_dropped",
+        "_refused", "_bits_sent", "_receiver", "_trace", "_m_dropped",
+        "_m_refused",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -72,8 +79,8 @@ class Link:
         self.latency_s = float(latency_s)
         self.loss = float(loss)
         self.name = name
-        self._rng_stream = rng_stream or f"link:{name}"
-        self._ev_name = name + ".send"
+        if rng_stream is not None:
+            self._rng_stream = rng_stream
         self._busy_until = sim.now
         self._up = True
         self._delivered = 0
@@ -85,6 +92,20 @@ class Link:
         t = self._trace
         self._m_dropped = t.counter("link.dropped") if t else None
         self._m_refused = t.counter("link.refused") if t else None
+
+    def __getattr__(self, attr: str):
+        # Lazily derived names: building a 10^6-link fleet should not
+        # pay two f-string allocations per link for strings that only
+        # the loss draw (``_rng_stream``) and the Event-returning send
+        # path (``_ev_name``) ever read.
+        if attr == "_rng_stream":
+            value = f"link:{self.name}"
+        elif attr == "_ev_name":
+            value = self.name + ".send"
+        else:
+            raise AttributeError(attr)
+        setattr(self, attr, value)
+        return value
 
     # -- state ---------------------------------------------------------
     @property
@@ -265,6 +286,8 @@ class DuplexChannel:
 
     This is the per-PNA channel from the paper (capacity δ each way).
     """
+
+    __slots__ = ("name", "uplink", "downlink")
 
     def __init__(
         self,

@@ -46,10 +46,12 @@ __all__ = [
     "DEFAULT_SCALES",
     "KERNEL_SCALES",
     "CENSUS_SCALES",
+    "DISPATCH_SCALES",
     "run_scenario",
     "run_kernel_scenario",
     "run_telemetry_overhead",
     "run_census_scenario",
+    "run_dispatch_scenario",
     "run_scales",
     "write_report",
     "main",
@@ -58,6 +60,7 @@ __all__ = [
 DEFAULT_SCALES = (1_000, 10_000, 100_000)
 KERNEL_SCALES = (10_000,)
 CENSUS_SCALES = (100_000,)
+DISPATCH_SCALES = (50_000,)
 
 #: Scenario constants — change these and old JSON is incomparable.
 SCENARIO = {
@@ -91,17 +94,27 @@ class _gc_paused:
 
 
 def run_scenario(n_nodes: int, *, seed: Optional[int] = None,
-                 sample_interval_s: float = 5.0) -> Dict[str, float]:
-    """One wakeup+heartbeat+BoT cycle at ``n_nodes`` PNAs; returns metrics."""
+                 sample_interval_s: float = 5.0,
+                 task_path: Optional[str] = None) -> Dict[str, float]:
+    """One wakeup+heartbeat+BoT cycle at ``n_nodes`` PNAs; returns metrics.
+
+    ``task_path`` selects the dispatch tier ("cohort" macro engine vs
+    "process" per-PNA reference; None → REPRO_TASK_PATH / default).
+    ``makespan`` must be bit-identical across paths — wall time is the
+    only legitimate difference.
+    """
     from repro.core import OddCISystem
+    from repro.core.taskloop import resolve_task_path
     from repro.workloads import uniform_bag
 
     cfg = SCENARIO
+    task_path = resolve_task_path(task_path)
     with _gc_paused():
         t0 = time.perf_counter()
         system = OddCISystem(
             seed=cfg["seed"] if seed is None else seed,
-            maintenance_interval_s=cfg["maintenance_interval_s"])
+            maintenance_interval_s=cfg["maintenance_interval_s"],
+            task_path=task_path)
         system.add_pnas(n_nodes,
                         heartbeat_interval_s=cfg["heartbeat_interval_s"],
                         dve_poll_interval_s=cfg["dve_poll_interval_s"])
@@ -133,6 +146,7 @@ def run_scenario(n_nodes: int, *, seed: Optional[int] = None,
     events = sim.events_executed
     return {
         "n_nodes": n_nodes,
+        "task_path": task_path,
         "events": events,
         "events_per_sec": events / run_wall_s if run_wall_s > 0 else 0.0,
         "peak_heap": peak["heap"],
@@ -320,13 +334,78 @@ def run_census_scenario(n_members: int, *, rounds: int = 5,
     }
 
 
+def run_dispatch_scenario(n_requesters: int, *, rounds: int = 5,
+                          repeats: int = 3) -> Dict[str, float]:
+    """Backend dispatch-tier throughput: batched vs per-request.
+
+    ``n_requesters`` concurrent task requests are served ``rounds``
+    times from a bag deep enough that the pending queue never empties —
+    once through the scalar ``_serve_request`` loop (what the per-PNA
+    reference path produces) and once through one
+    ``receive_request_cohort`` call per round (the cohort wire shape).
+    Runs interleave; best of ``repeats`` per engine is kept.  The
+    assigned task-id sequences are asserted identical before returning,
+    so ``speedup`` never trades away dispatch order.
+    """
+    from repro.core.backend import Backend
+    from repro.core.network import Router
+    from repro.sim.core import Simulator
+    from repro.workloads import uniform_bag
+    from repro.workloads.job import reset_job_sequence
+
+    requesters = [f"pna-{i}" for i in range(n_requesters)]
+
+    def build():
+        reset_job_sequence()
+        sim = Simulator(seed=SCENARIO["seed"])
+        job = uniform_bag(n_requesters * rounds,
+                          ref_seconds=SCENARIO["ref_seconds"])
+        return Backend(sim, job, Router(sim), backend_id="bench-dispatch")
+
+    base_best = coh_best = float("inf")
+    base_ids = coh_ids = None
+    with _gc_paused():
+        for _ in range(max(1, repeats)):
+            backend = build()
+            t0 = time.perf_counter()
+            ids = [backend._serve_request(r, "i-bench").task_id
+                   for _r in range(rounds) for r in requesters]
+            base_best = min(base_best, time.perf_counter() - t0)
+            backend.shutdown()
+            base_ids = ids
+
+            backend = build()
+            t0 = time.perf_counter()
+            ids = [reply.task_id for _r in range(rounds) for reply in
+                   backend.receive_request_cohort(requesters, "i-bench")]
+            coh_best = min(coh_best, time.perf_counter() - t0)
+            backend.shutdown()
+            coh_ids = ids
+
+    assert base_ids == coh_ids, "dispatch order diverged across tiers"
+    assignments = n_requesters * rounds
+    base_aps = assignments / base_best if base_best > 0 else 0.0
+    coh_aps = assignments / coh_best if coh_best > 0 else 0.0
+    return {
+        "n_requesters": n_requesters,
+        "rounds": rounds,
+        "repeats": repeats,
+        "baseline_wall_s": round(base_best, 4),
+        "cohort_wall_s": round(coh_best, 4),
+        "baseline_assignments_per_sec": round(base_aps, 1),
+        "cohort_assignments_per_sec": round(coh_aps, 1),
+        "speedup": round(coh_aps / base_aps, 3) if base_aps else 0.0,
+    }
+
+
 def run_scales(scales: List[int],
                kernel_scales: Optional[List[int]] = None,
-               *, verbose: bool = True) -> Dict[str, dict]:
+               *, verbose: bool = True,
+               task_path: Optional[str] = None) -> Dict[str, dict]:
     """Run both families; returns ``{"oddci": {...}, "kernel": {...}}``."""
     oddci: Dict[str, dict] = {}
     for n in scales:
-        metrics = run_scenario(int(n))
+        metrics = run_scenario(int(n), task_path=task_path)
         oddci[str(n)] = metrics
         if verbose:
             print(f"  oddci  n={n:>7}  events={metrics['events']:>10}  "
@@ -387,6 +466,14 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--out", type=str, default="BENCH_event_tier.json")
     parser.add_argument("--label", type=str, default="after",
                         choices=("before", "after"))
+    parser.add_argument("--task-path", type=str, default=None,
+                        choices=("cohort", "process"),
+                        help="dispatch tier for the oddci family "
+                             "(default: REPRO_TASK_PATH or cohort)")
+    parser.add_argument("--profile", type=int, nargs="?", const=25,
+                        default=0, metavar="N",
+                        help="run under cProfile and print the top N "
+                             "functions by cumulative time (default 25)")
     parser.add_argument("--telemetry-overhead", action="store_true",
                         help="measure disabled-telemetry kernel overhead "
                              "instead of the scenario families")
@@ -397,7 +484,33 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--census-scales", type=int, nargs="+",
                         default=list(CENSUS_SCALES),
                         help="census-family member counts")
+    parser.add_argument("--dispatch", action="store_true",
+                        help="measure Backend dispatch-tier throughput "
+                             "(batched cohort vs per-request) instead of "
+                             "the scenario families")
+    parser.add_argument("--dispatch-scales", type=int, nargs="+",
+                        default=list(DISPATCH_SCALES),
+                        help="dispatch-family requester counts")
     args = parser.parse_args(argv)
+    if args.dispatch:
+        out = args.out if args.out != "BENCH_event_tier.json" \
+            else "BENCH_dispatch.json"
+        dispatch: Dict[str, dict] = {}
+        for n in args.dispatch_scales:
+            metrics = _maybe_profiled(args.profile, run_dispatch_scenario,
+                                      int(n))
+            dispatch[str(n)] = metrics
+            print(f"  dispatch n={n:>7}  "
+                  f"scalar {metrics['baseline_assignments_per_sec']:>12.0f}/s  "
+                  f"cohort {metrics['cohort_assignments_per_sec']:>12.0f}/s  "
+                  f"speedup {metrics['speedup']:.2f}x")
+        if args.profile:
+            print(f"[profiled run: {out} left untouched]")
+        else:
+            write_report(out, {"dispatch": dispatch}, args.label,
+                         merge_into=out, benchmark="dispatch")
+            print(f"[written to {out}]")
+        return 0
     if args.census:
         out = args.out if args.out != "BENCH_event_tier.json" \
             else "BENCH_census.json"
@@ -421,11 +534,37 @@ def main(argv: Optional[list] = None) -> int:
               f"ev/s, ratio {metrics['ratio']:.4f}")
         return 0
     print(f"event-tier perf bench — oddci {args.scales}, "
-          f"kernel {args.kernel_scales} ({args.label})")
-    results = run_scales(args.scales, args.kernel_scales)
-    write_report(args.out, results, args.label, merge_into=args.out)
-    print(f"[written to {args.out}]")
+          f"kernel {args.kernel_scales} ({args.label}, "
+          f"task_path={args.task_path or 'default'})")
+    results = _maybe_profiled(args.profile, run_scales, args.scales,
+                              args.kernel_scales,
+                              task_path=args.task_path)
+    if args.profile:
+        print(f"[profiled run: {args.out} left untouched]")
+    else:
+        write_report(args.out, results, args.label, merge_into=args.out)
+        print(f"[written to {args.out}]")
     return 0
+
+
+def _maybe_profiled(top_n: int, fn, *args, **kwargs):
+    """Run ``fn`` under cProfile when ``top_n`` > 0, printing the top-N
+    rows by cumulative time; otherwise call it directly.
+
+    Profiler overhead inflates wall numbers 2-4x — profiled runs are
+    for finding hot spots, never for recording in BENCH artifacts.
+    """
+    if not top_n:
+        return fn(*args, **kwargs)
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn, *args, **kwargs)
+    print(f"\n-- cProfile top {top_n} (cumulative) "
+          "— wall numbers are inflated; do not record --")
+    pstats.Stats(profiler).sort_stats("cumulative").print_stats(top_n)
+    return result
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -45,6 +45,11 @@ class Resource:
         self._in_use = 0
         self._queue: Deque[Event] = deque()
         self._granted: set[int] = set()
+        #: tombstones: ids of cancelled-but-still-queued requests.
+        #: ``cancel`` marks instead of ``deque.remove`` (O(n) per call —
+        #: quadratic under timeout storms); grant/inspection skip marked
+        #: entries and the queue is compacted when tombstones pile up.
+        self._cancelled: set[int] = set()
 
     @property
     def capacity(self) -> int:
@@ -58,7 +63,9 @@ class Resource:
     @property
     def queue_length(self) -> int:
         """Number of requests waiting for a slot."""
-        return sum(1 for ev in self._queue if not ev.triggered)
+        cancelled = self._cancelled
+        return sum(1 for ev in self._queue
+                   if not ev.triggered and id(ev) not in cancelled)
 
     def request(self) -> Event:
         """Return an event that succeeds when a slot is granted."""
@@ -85,20 +92,32 @@ class Resource:
                 f"release of unknown/never-granted request on {self.name!r}")
         self._granted.discard(id(request))
         self._in_use -= 1
+        cancelled = self._cancelled
         while self._queue and self._in_use < self._capacity:
             nxt = self._queue.popleft()
             if nxt.triggered:  # cancelled by a failed waiter
                 continue
+            if cancelled and id(nxt) in cancelled:  # withdrawn via cancel()
+                cancelled.discard(id(nxt))
+                continue
             self._grant(nxt)
 
     def cancel(self, request: Event) -> None:
-        """Withdraw a queued request (granted requests must be released)."""
+        """Withdraw a queued request (granted requests must be released).
+
+        O(1) amortised: the request is tombstoned, not removed; grants
+        skip tombstones and the queue compacts once they outnumber the
+        live entries."""
         if id(request) in self._granted:
             raise ResourceError("cannot cancel a granted request; release it")
-        try:
-            self._queue.remove(request)
-        except ValueError:
-            pass
+        cancelled = self._cancelled
+        cancelled.add(id(request))
+        if len(cancelled) > 64 and 2 * len(cancelled) > len(self._queue):
+            self._queue = deque(ev for ev in self._queue
+                                if id(ev) not in cancelled)
+            # Any id not found in the queue was never (or no longer)
+            # enqueued; all tombstones are spent either way.
+            cancelled.clear()
 
 
 class Store:

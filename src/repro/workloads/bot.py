@@ -38,11 +38,25 @@ def uniform_bag(
     """``n`` identical tasks — the paper's homogeneous job model."""
     if n <= 0:
         raise WorkloadError(f"n must be > 0, got {n}")
-    tasks = tuple(
-        Task(task_id=i, input_bits=input_bits, ref_seconds=ref_seconds,
-             result_bits=result_bits)
-        for i in range(n))
-    return Job(image_bits=image_bits, tasks=tasks, name=name)
+    # Task 0 validates the shared field values through the normal
+    # constructor; the remaining n-1 identical tasks are stamped out
+    # without re-running __init__/__post_init__ — at 10^6-node scale
+    # the bag is millions of copies differing only in task_id.
+    proto = Task(task_id=0, input_bits=input_bits, ref_seconds=ref_seconds,
+                 result_bits=result_bits)
+    new = Task.__new__
+    set_ = object.__setattr__
+    stamped = [proto]
+    append = stamped.append
+    for i in range(1, n):
+        t = new(Task)
+        set_(t, "task_id", i)
+        set_(t, "input_bits", input_bits)
+        set_(t, "ref_seconds", ref_seconds)
+        set_(t, "result_bits", result_bits)
+        set_(t, "payload", None)
+        append(t)
+    return Job(image_bits=image_bits, tasks=tuple(stamped), name=name)
 
 
 def lognormal_bag(

@@ -29,7 +29,7 @@ def reset_job_sequence() -> None:
     _job_ids = itertools.count(1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Task:
     """One independent unit of work.
 

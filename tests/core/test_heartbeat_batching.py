@@ -85,6 +85,96 @@ def test_per_message_fallback_reconstructs_messages():
         assert msg.sender == msg.payload.pna_id
 
 
+def test_wakeup_interval_change_recohorts_across_wheels():
+    """A mid-run ``heartbeat_interval_s`` change (wakeup adoption) must
+    move the PNA between TimerWheel buckets: old cohort pruned, new
+    cohort keyed by the new (interval, phase), beats on the new
+    timetable from the change instant."""
+    from repro.core import WakeupPayload, sign_control
+
+    system = build_system(n_pnas=6, heartbeat_interval_s=20.0)
+    router = system.router
+    (old_key,) = router._cohorts
+    old_cohort = router._cohorts[old_key]
+    old_wheel = old_cohort.wheel
+    mover = system.pnas[0]
+
+    def rewire():
+        payload = WakeupPayload(instance_id="i-rewire", image_name="img",
+                                image_bits=1e5, probability=1.0,
+                                heartbeat_interval_s=7.0)
+        mover.deliver_control(
+            payload, sign_control(system.controller.key, payload))
+
+    system.sim.schedule_at(30.0, rewire)
+    system.sim.run(until=31.0)
+    assert mover.heartbeat_interval_s == 7.0
+    # Old cohort keeps the other five members on the shared wheel; the
+    # mover now owns a distinct cohort keyed by the new interval+phase.
+    assert mover.pna_id not in old_cohort.members
+    assert len(old_cohort.members) == 5
+    assert len(router._cohorts) == 2
+    new_cohort = mover._hb_cohort
+    assert new_cohort is not old_cohort
+    assert new_cohort.wheel is not old_wheel
+    assert new_cohort.wheel.interval_s == 7.0
+    assert mover.pna_id in new_cohort.members
+
+    before = mover.heartbeats_sent
+    system.sim.run(until=65.5)
+    # New timetable: joined at t=30 with I=7 -> beats at 37,44,51,58,65.
+    assert mover.heartbeats_sent - before == 5
+    # The remaining members never left their 20s timetable: 40 and 60.
+    assert all(p.heartbeats_sent == 3 for p in system.pnas[1:])
+
+
+def test_interval_churn_drains_and_rebuilds_cohorts():
+    """Repeatedly bouncing a PNA between intervals exercises the wheel
+    unsubscribe/disarm path: emptied cohorts are dropped from the
+    router map and their wheels stop ticking."""
+    system = build_system(n_pnas=1, heartbeat_interval_s=10.0)
+    router = system.router
+    pna = system.pnas[0]
+    for interval in (3.0, 11.0, 5.0, 10.0, 3.0):
+        pna.heartbeat_interval_s = interval
+        pna._restart_heartbeat()
+        # The old cohort emptied: exactly one cohort remains, keyed by
+        # the new interval, with a live subscription.
+        assert len(router._cohorts) == 1
+        (cohort,) = router._cohorts.values()
+        assert cohort.wheel.interval_s == interval
+        assert cohort.wheel.subscriber_count == 1
+        assert list(cohort.members) == [pna.pna_id]
+    start = system.sim.now
+    system.sim.run(until=start + 9.5)
+    assert pna.heartbeats_sent == 3  # final 3s timetable: +3, +6, +9
+
+
+def test_interval_churn_mid_cycle_preserves_shared_cohort_peers():
+    """Cohort keys include the join phase: a member re-keyed mid-cycle
+    joins (or founds) the cohort at ``fmod(now, I)`` and must not drag
+    peers with congruent intervals but different phases along."""
+    import math
+
+    system = build_system(n_pnas=4, heartbeat_interval_s=12.0)
+    router = system.router
+    mover = system.pnas[3]
+
+    def flip():
+        mover.heartbeat_interval_s = 12.0
+        mover._restart_heartbeat()  # same interval, new phase
+
+    system.sim.schedule_at(5.0, flip)
+    system.sim.run(until=5.5)
+    assert len(router._cohorts) == 2
+    phases = sorted(key[2] for key in router._cohorts)
+    assert phases == [0.0, pytest.approx(math.fmod(5.0, 12.0))]
+    system.sim.run(until=29.5)
+    # Peers kept the t=12,24 timetable; the mover beats at 17, 29.
+    assert all(p.heartbeats_sent == 2 for p in system.pnas[:3])
+    assert mover.heartbeats_sent == 2
+
+
 def test_batched_census_matches_during_job():
     """With a job running, the controller's busy/idle census tracks the
     fleet exactly as with per-message heartbeats (states ride in the

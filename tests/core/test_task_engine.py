@@ -1,0 +1,274 @@
+"""Differential tests: cohort task engine ≡ per-PNA reference path.
+
+The macro engine (repro.core.taskloop) re-implements the DVE client
+loop and the Backend's dispatch tier in columnar batches; these tests
+drive the same seeded scenarios through both implementations and
+require identical semantics — job report (makespan bit-equal), task
+accounting, per-link byte/delivery/drop counters, node counters and
+telemetry traces.
+
+Trace comparison uses a canonical same-instant sort: within one sim
+instant the two paths may interleave independent emitters differently
+(per-member deliveries vs one bucket), but the multiset of events per
+instant — including order-sensitive fields like each completion's
+``done`` count — must match exactly.
+"""
+
+import pytest
+
+from repro.core import OddCISystem
+from repro.core.backend import Backend
+from repro.core.dve import CONTROL_PAYLOAD_BITS as DVE_CONTROL_BITS
+from repro.core.taskloop import (
+    CONTROL_PAYLOAD_BITS as ENGINE_CONTROL_BITS,
+    CohortDVE,
+    resolve_task_path,
+)
+from repro.errors import ConfigurationError
+from repro.telemetry.trace import Tracer, active
+from repro.workloads import uniform_bag
+from repro.workloads.job import reset_job_sequence
+
+
+def _canonical(events):
+    """Sort trace events by (time, category, name, fields) — stable
+    across legitimate same-instant interleaving differences."""
+    return sorted(
+        (t, cat, name, tuple(sorted(fields.items())) if fields else ())
+        for t, cat, name, fields in events)
+
+
+def _run_cycle(task_path, *, seed=7, n_nodes=20, n_tasks=60,
+               ref_seconds=4.0, input_bits=2e5, result_bits=1e5,
+               delta_loss=0.0, lease_factor=None, replicate_tail=False,
+               dve_poll_interval_s=5.0, executor=None, drain_s=120.0,
+               trace=False):
+    """One full recruit+job+dismantle cycle; returns the comparison dict."""
+    reset_job_sequence()
+    tracer = Tracer("all") if trace else None
+    ctx = active(tracer) if tracer else _null_ctx()
+    with ctx:
+        system = OddCISystem(seed=seed, maintenance_interval_s=1e6,
+                             delta_loss=delta_loss, task_path=task_path)
+        system.add_pnas(n_nodes, heartbeat_interval_s=500.0,
+                        dve_poll_interval_s=dve_poll_interval_s,
+                        executor=executor)
+        job = uniform_bag(n_tasks, ref_seconds=ref_seconds,
+                          input_bits=input_bits, result_bits=result_bits)
+        submission = system.provider.submit_job(
+            job, target_size=n_nodes, lifetime_s=1e6,
+            heartbeat_interval_s=500.0, lease_factor=lease_factor,
+            replicate_tail=replicate_tail)
+        backend = submission.backend
+        report = system.provider.run_job_to_completion(submission,
+                                                       limit_s=1e6)
+        # Drain same-instant stragglers and the dismantle broadcast so
+        # post-run state (duplicate counts, resets) is settled.
+        system.sim.run(until=system.sim.now + drain_s)
+    out = {
+        "report": report,
+        "makespan": report.makespan,  # bit-exact float compare
+        "completed": dict(backend._completed),
+        "duplicates": backend.duplicates,
+        "requeues": backend.requeues,
+        "replicas_issued": backend.replicas_issued,
+        "tasks_assigned": backend.tasks_assigned,
+        "undeliverable": system.router.undeliverable,
+        "pna_counters": [
+            (p.wakeups_accepted, p.resets_handled, p.heartbeats_sent)
+            for p in system.pnas],
+        "links": [
+            (p.channel.uplink.delivered, p.channel.uplink.dropped,
+             p.channel.uplink.refused, p.channel.uplink.bits_sent,
+             p.channel.downlink.delivered, p.channel.downlink.dropped,
+             p.channel.downlink.refused, p.channel.downlink.bits_sent)
+            for p in system.pnas],
+        "sim_time": system.sim.now,
+    }
+    if tracer:
+        out["trace"] = _canonical(
+            e for e in tracer.events() if e[1] != "kernel")
+    return out
+
+
+class _null_ctx:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+def _assert_equivalent(cfg):
+    a = _run_cycle("process", **cfg)
+    b = _run_cycle("cohort", **cfg)
+    for key in a:
+        assert a[key] == b[key], f"{key} diverged under {cfg}"
+
+
+BASE_CONFIGS = [
+    # plain FIFO, homogeneous fleet (vector dispatch fast path)
+    dict(seed=7),
+    # more tasks than one round; small cohort (scalar dispatch path)
+    dict(seed=8, n_nodes=7, n_tasks=40),
+    # leases tight enough to force requeues and duplicate results
+    dict(seed=9, lease_factor=0.02, n_tasks=30, ref_seconds=8.0),
+    # tail replication (general dispatch path + replica index)
+    dict(seed=10, replicate_tail=True, lease_factor=5.0,
+         n_nodes=12, n_tasks=18, ref_seconds=6.0),
+    # lossy direct channels: retransmissions, timeout path, RNG order
+    dict(seed=11, delta_loss=0.08, lease_factor=3.0,
+         n_nodes=10, n_tasks=30, drain_s=400.0),
+    # non-identity executor (slow devices; scalar compute times)
+    dict(seed=12, executor=lambda ref: ref * 2.5, n_tasks=40),
+]
+
+
+@pytest.mark.parametrize("cfg", BASE_CONFIGS,
+                         ids=lambda c: f"seed{c['seed']}")
+def test_cohort_matches_process(cfg):
+    _assert_equivalent(cfg)
+
+
+@pytest.mark.parametrize("cfg", BASE_CONFIGS[:3],
+                         ids=lambda c: f"seed{c['seed']}")
+def test_cohort_matches_process_traced(cfg):
+    _assert_equivalent({**cfg, "trace": True})
+
+
+def test_fuzz_seed_sweep():
+    """Randomised sweep: seeds drive fleet size, bag size, task shape,
+    loss and fault-tolerance knobs through both paths."""
+    import random
+
+    for seed in range(40, 52):
+        r = random.Random(seed)
+        cfg = dict(
+            seed=seed,
+            n_nodes=r.randint(3, 25),
+            n_tasks=r.randint(5, 80),
+            ref_seconds=r.choice([0.5, 2.0, 7.5]),
+            input_bits=r.choice([0.0, 4096.0, 3e5]),
+            result_bits=r.choice([512.0, 1e5]),
+            delta_loss=r.choice([0.0, 0.0, 0.05]),
+            lease_factor=r.choice([None, 2.0, 0.05]),
+            replicate_tail=r.choice([False, True]),
+            dve_poll_interval_s=r.choice([2.0, 15.0]),
+            drain_s=300.0,
+        )
+        _assert_equivalent(cfg)
+
+
+# -- engine unit behaviour ----------------------------------------------------
+
+def test_control_payload_bits_in_sync():
+    # taskloop avoids importing dve (module cycle); the constant must
+    # stay equal or wire accounting silently diverges.
+    assert ENGINE_CONTROL_BITS == DVE_CONTROL_BITS
+
+
+def test_resolve_task_path_env(monkeypatch):
+    monkeypatch.delenv("REPRO_TASK_PATH", raising=False)
+    assert resolve_task_path(None) == "cohort"
+    assert resolve_task_path("process") == "process"
+    monkeypatch.setenv("REPRO_TASK_PATH", "process")
+    assert resolve_task_path(None) == "process"
+    assert resolve_task_path("cohort") == "cohort"  # explicit wins
+    monkeypatch.setenv("REPRO_TASK_PATH", "bogus")
+    with pytest.raises(ConfigurationError):
+        resolve_task_path(None)
+
+
+def test_cohort_dve_validation_and_destroy():
+    system = OddCISystem(seed=5, maintenance_interval_s=1e6,
+                         task_path="cohort")
+    system.add_pnas(2, heartbeat_interval_s=1e5, dve_poll_interval_s=5.0)
+    job = uniform_bag(4, ref_seconds=1.0, image_bits=1e5)
+    submission = system.provider.submit_job(job, target_size=2,
+                                            lifetime_s=1e5,
+                                            heartbeat_interval_s=1e5)
+    system.sim.run(until=2.0)  # recruit; first polls in flight
+    pna = system.pnas[0]
+    dve = pna.dve
+    assert isinstance(dve, CohortDVE)
+    from repro.errors import OddCIError
+    with pytest.raises(OddCIError):
+        CohortDVE(dve._engine, pna, "i", "b", poll_interval_s=0)
+    with pytest.raises(OddCIError):
+        CohortDVE(dve._engine, pna, "i", "b", request_timeout_s=-1)
+    dve.destroy()
+    dve.destroy()  # idempotent
+    assert dve.destroyed
+    dve.on_backend_message("anything")  # must not raise
+    completed_before = dve.tasks_completed
+    system.sim.run(until=1e5)
+    assert dve.tasks_completed == completed_before  # slot stays dead
+
+
+def test_unregistered_backend_falls_back_to_process_path():
+    """Wakeups naming a backend id with no cohort-capable server (test
+    doubles, custom components) must run the reference DVE."""
+    from repro.core import WakeupPayload, sign_control
+    from repro.core.dve import DVE
+
+    system = OddCISystem(seed=6, maintenance_interval_s=1e6,
+                         task_path="cohort")
+    system.add_pnas(1, heartbeat_interval_s=1e5, dve_poll_interval_s=5.0)
+    pna = system.pnas[0]
+    payload = WakeupPayload(instance_id="i-ghost", image_name="img",
+                            image_bits=1e5, probability=1.0,
+                            backend_id="ghost-backend")
+    pna.deliver_control(payload,
+                        sign_control(system.controller.key, payload))
+    assert isinstance(pna.dve, DVE)
+    assert not isinstance(pna.dve, CohortDVE)
+
+
+def test_engine_reused_within_instance_fresh_across_backends():
+    system = OddCISystem(seed=13, maintenance_interval_s=1e6,
+                         task_path="cohort")
+    system.add_pnas(6, heartbeat_interval_s=1e5, dve_poll_interval_s=5.0)
+    job = uniform_bag(12, ref_seconds=1.0)
+    submission = system.provider.submit_job(job, target_size=6,
+                                            lifetime_s=1e6,
+                                            heartbeat_interval_s=1e5)
+    system.provider.run_job_to_completion(submission, limit_s=1e6)
+    engines = set(system.router._task_engines.values())
+    assert len(engines) == 1
+    (engine,) = engines
+    assert engine.members_joined == 6
+
+
+def test_replica_candidate_heap_matches_scan():
+    """Parity oracle for the replica-candidate index: under a seeded
+    requeue/replication workload, the heap pick must equal the full
+    in-flight scan at every request."""
+    import random
+
+    from repro.sim.core import Simulator
+    from repro.core.network import Router
+
+    r = random.Random(99)
+    for trial in range(30):
+        sim = Simulator(seed=trial)
+        router = Router(sim)
+        job = uniform_bag(r.randint(4, 12), ref_seconds=2.0)
+        backend = Backend(sim, job, router, backend_id=f"b{trial}",
+                          lease_factor=2.0, replicate_tail=True,
+                          max_replicas=r.choice([2, 3]))
+        workers = [f"w{i}" for i in range(r.randint(2, 6))]
+        for step in range(60):
+            sim.run(until=sim.now + r.uniform(0.1, 5.0))
+            requester = r.choice(workers)
+            expected = backend._pick_replica_candidate_scan(requester)
+            got = backend._pick_replica_candidate(requester)
+            assert (None if got is None else got.task_id) == \
+                (None if expected is None else expected.task_id), \
+                f"trial {trial} step {step}"
+            # Drive the real state machine so the index sees pops,
+            # requeues and completions.
+            reply = backend._serve_request(requester,
+                                           instance_id="i-parity")
+            if hasattr(reply, "task_id") and r.random() < 0.6:
+                backend.receive_result(requester, reply.task_id)
+        backend.shutdown()

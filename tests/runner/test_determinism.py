@@ -41,6 +41,25 @@ def test_parallel_matches_serial_byte_for_byte(tmp_path, name, jobs):
     assert par.meta["n_records"] == serial.meta["n_records"] > 0
 
 
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_task_paths_agree_byte_for_byte(tmp_path, name, monkeypatch):
+    """The cohort task engine and the per-PNA reference path must
+    persist byte-identical artifacts (REPRO_TASK_PATH differential),
+    including under ``--jobs`` (workers inherit the environment)."""
+    monkeypatch.setenv("REPRO_TASK_PATH", "process")
+    _res, ref_records, ref_rendered = _artifact_bytes(
+        tmp_path / "process", name, 1)
+    monkeypatch.setenv("REPRO_TASK_PATH", "cohort")
+    _res, coh_records, coh_rendered = _artifact_bytes(
+        tmp_path / "cohort", name, 1)
+    assert coh_records == ref_records
+    assert coh_rendered == ref_rendered
+    _res, par_records, par_rendered = _artifact_bytes(
+        tmp_path / "cohort-jobs", name, 2)
+    assert par_records == ref_records
+    assert par_rendered == ref_rendered
+
+
 @pytest.mark.experiments
 @pytest.mark.skipif((os.cpu_count() or 1) < 4,
                     reason="wall-time speedup needs >= 4 cores; the "

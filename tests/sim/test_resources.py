@@ -71,6 +71,58 @@ def test_resource_cancel_granted_raises():
         res.cancel(held)
 
 
+def test_resource_cancel_unknown_is_noop():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    held = res.request()
+    res.cancel(sim.event())  # never queued: tolerated, no effect
+    res.release(held)
+    assert res.in_use == 0 and res.queue_length == 0
+
+
+def test_resource_cancel_skips_to_live_waiter_after_compaction():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    held = res.request()
+    # Enough cancellations to trip the tombstone compaction threshold,
+    # with live waiters interleaved before/between/after.
+    early = res.request()
+    doomed = [res.request() for _ in range(200)]
+    late = res.request()
+    for req in doomed:
+        res.cancel(req)
+    assert res.queue_length == 2
+    res.release(held)
+    assert early.triggered
+    res.release(early)
+    assert late.triggered
+    assert not any(req.triggered for req in doomed)
+
+
+def test_resource_mass_cancellation_is_sub_linear():
+    """Regression for the O(n) ``deque.remove`` per cancel: 50k
+    cancellations against a 50k-deep queue must complete in far less
+    time than the quadratic scan would take (minutes)."""
+    import time
+
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    held = res.request()
+    survivors_head = res.request()
+    doomed = [res.request() for _ in range(50_000)]
+    survivors_tail = res.request()
+    t0 = time.perf_counter()
+    for req in doomed:
+        res.cancel(req)
+    elapsed = time.perf_counter() - t0
+    assert elapsed < 2.0  # quadratic removal takes minutes at this depth
+    assert res.queue_length == 2
+    res.release(held)
+    assert survivors_head.triggered
+    res.release(survivors_head)
+    assert survivors_tail.triggered
+
+
 def test_resource_with_processes():
     sim = Simulator()
     res = Resource(sim, capacity=2)

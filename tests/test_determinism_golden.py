@@ -16,11 +16,13 @@ def _callback_name(cb) -> str:
     return getattr(cb, "__qualname__", None) or type(cb).__name__
 
 
-def _run_full_cycle(seed: int, heartbeat_interval_s: float = 20.0):
+def _run_full_cycle(seed: int, heartbeat_interval_s: float = 20.0,
+                    task_path: str = "process"):
     """One wakeup+heartbeat+job cycle; returns (trace, outputs)."""
     trace = []
     system = OddCISystem(beta_bps=1_000_000.0, delta_bps=150_000.0,
-                         maintenance_interval_s=30.0, seed=seed)
+                         maintenance_interval_s=30.0, seed=seed,
+                         task_path=task_path)
     system.sim.trace = lambda t, cb, args: trace.append(
         (t, _callback_name(cb)))
     system.add_pnas(25, heartbeat_interval_s=heartbeat_interval_s,
@@ -55,6 +57,26 @@ def test_same_seed_runs_are_event_identical():
     assert len(trace_a) == len(trace_b)
     assert trace_a == trace_b  # same callbacks, same times, same order
     assert len(trace_a) > 500  # the cycle actually exercised the stack
+
+
+def test_same_seed_runs_are_event_identical_cohort():
+    """The macro task engine obeys the same determinism contract (and
+    actually collapses the calendar — far fewer entries per cycle)."""
+    trace_a, out_a = _run_full_cycle(seed=11, task_path="cohort")
+    trace_b, out_b = _run_full_cycle(seed=11, task_path="cohort")
+    assert out_a == out_b
+    assert trace_a == trace_b
+    assert 0 < len(trace_a) < 500  # the cohort path batches the calendar
+
+
+def test_cohort_and_process_agree_on_outputs():
+    """The two task paths must agree on every semantic output; only the
+    calendar shape (events_executed / entry trace) may differ."""
+    _trace_p, out_p = _run_full_cycle(seed=11)
+    _trace_c, out_c = _run_full_cycle(seed=11, task_path="cohort")
+    for key in ("makespan", "completed_at", "tasks_assigned",
+                "distinct_workers", "counters", "census", "idle"):
+        assert out_p[key] == out_c[key], key
 
 
 def test_trace_detects_behavioral_change():
