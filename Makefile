@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test experiments bench bench-quick bench-floor trace-demo \
-	faults-smoke
+	faults-smoke federation-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -24,6 +24,7 @@ bench:
 	$(PYTHON) -m repro bench
 	$(PYTHON) -m repro bench --census
 	$(PYTHON) -m repro bench --dispatch
+	$(PYTHON) -m repro bench --federation
 
 bench-quick:
 	$(PYTHON) -m repro bench --scales 1000 --kernel-scales 10000 \
@@ -51,3 +52,13 @@ trace-demo:
 faults-smoke:
 	$(PYTHON) -m repro fault_sweep --smoke --jobs 2
 	$(PYTHON) -m repro a3 --smoke --faults=demo
+
+# Federated control plane smoke: the federation_sweep scenario through
+# the parallel runner, the federation unit/fault suites, and a
+# reduced-scale run of the multi-network perf floor (DESIGN.md §13).
+federation-smoke:
+	$(PYTHON) -m repro federation_sweep --smoke --jobs 2
+	$(PYTHON) -m pytest tests/core/test_federation.py \
+		tests/faults/test_shard_faults.py tests/core/test_provider.py -q
+	REPRO_FLOOR_SCALE=20000 $(PYTHON) -m pytest \
+		benchmarks/test_federation_floor.py -q --run-perf

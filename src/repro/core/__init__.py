@@ -25,6 +25,14 @@ from repro.core.census import (
 )
 from repro.core.controller import Controller, ControlPlane, DirectControlPlane
 from repro.core.dve import CONTROL_PAYLOAD_BITS, DVE
+from repro.core.federation import (
+    ControllerShard,
+    FederatedOddCISystem,
+    FederatedProvider,
+    FederatedSubmission,
+    NetworkDescriptor,
+    split_target,
+)
 from repro.core.instance import (
     InstanceRecord,
     InstanceSpec,
@@ -92,6 +100,12 @@ __all__ = [
     "Provider",
     "Submission",
     "OddCISystem",
+    "NetworkDescriptor",
+    "ControllerShard",
+    "FederatedSubmission",
+    "FederatedProvider",
+    "FederatedOddCISystem",
+    "split_target",
     "HeartbeatAggregator",
     "HeartbeatDigest",
     "DigestingController",

@@ -99,9 +99,10 @@ class Backend:
         self,
         sim: Simulator,
         job: Job,
-        router: Router,
+        router: Union[Router, Sequence[Router]],
         *,
         backend_id: str = "backend",
+        networks: Optional[Sequence[str]] = None,
         lease_factor: Optional[float] = None,
         worst_case_slowdown: float = 25.0,
         lease_check_interval_s: float = 30.0,
@@ -130,7 +131,37 @@ class Backend:
                 f"got {scheduling!r}")
         self.sim = sim
         self.job = job
-        self.router = router
+        # Multi-router task routing (federation): a list/tuple of shard
+        # routers registers the backend on every shard's fabric, with
+        # merged result accounting plus optional per-network counters.
+        # A bare Router (or test double) keeps the classic wiring and
+        # ``self.router`` stays the primary either way.
+        routers = list(router) if isinstance(router, (list, tuple)) \
+            else [router]
+        if not routers:
+            raise BackendError("backend needs at least one router")
+        self.routers = routers
+        self.router = routers[0]
+        if networks is not None and len(networks) != len(routers):
+            raise BackendError("networks must match routers one-to-one")
+        #: per-network accounting: ``None`` on the classic single-router
+        #: wiring so the hot paths keep a single pointer check.
+        self.networks = list(networks) if networks is not None else None
+        if self.networks is not None:
+            self._net_of_router = dict(zip(routers, self.networks))
+            self.assigned_by_network: Optional[Dict[str, int]] = \
+                {n: 0 for n in self.networks}
+            self.completed_by_network: Optional[Dict[str, int]] = \
+                {n: 0 for n in self.networks}
+            self.requeues_by_network: Optional[Dict[str, int]] = \
+                {n: 0 for n in self.networks}
+        else:
+            self._net_of_router = {}
+            self.assigned_by_network = None
+            self.completed_by_network = None
+            self.requeues_by_network = None
+        #: pna_id -> network label cache (node→shard ownership is fixed)
+        self._net_of_pna: Dict[str, str] = {}
         self.backend_id = backend_id
         self.lease_factor = lease_factor
         self.worst_case_slowdown = worst_case_slowdown
@@ -191,14 +222,15 @@ class Backend:
         self._m_restarts = t.counter("recovery.backend_restarts") if t \
             else None
 
-        router.register_component(backend_id, self._receive,
-                                  receive_payload=self._receive_payload)
-        # Advertise the cohort dispatch tier: PNAs woken for this
-        # backend may drive their DVE loop through a shared
-        # CohortTaskEngine (repro.core.taskloop) instead of per-node
-        # process frames.  Test doubles that never register here keep
-        # every client on the reference path.
-        router.register_task_server(backend_id, self)
+        for r in routers:
+            r.register_component(backend_id, self._receive,
+                                 receive_payload=self._receive_payload)
+            # Advertise the cohort dispatch tier: PNAs woken for this
+            # backend may drive their DVE loop through a shared
+            # CohortTaskEngine (repro.core.taskloop) instead of per-node
+            # process frames.  Test doubles that never register here
+            # keep every client on the reference path.
+            r.register_task_server(backend_id, self)
         self._lease_proc = None
         if lease_factor is not None:
             self._lease_proc = sim.process(self._lease_loop())
@@ -302,10 +334,15 @@ class Backend:
                         lease_s *= self.lease_backoff_base ** attempt
                     if self.lease_backoff_jitter > 0.0:
                         lease_s *= 1.0 + self.lease_backoff_jitter * float(
-                            self.sim.rng(self._backoff_stream).random())
+                            self.sim.rng(
+                                self._backoff_stream_for(pna_id)).random())
                 lease = now + lease_s
             self._in_flight[task.task_id] = (task, pna_id, now, lease)
             self.tasks_assigned += 1
+            if self.assigned_by_network is not None:
+                net = self._network_for(pna_id)
+                if net is not None:
+                    self.assigned_by_network[net] += 1
             if self.replicate_tail:
                 self._assign_seq += 1
                 heappush(self._replica_queue,
@@ -364,6 +401,17 @@ class Backend:
                 workers_add(pna_id)
                 in_flight[task.task_id] = (task, pna_id, now, lease)
             self.tasks_assigned += k
+            if self.assigned_by_network is not None and k:
+                # A cohort is a property of one shard's fabric, so every
+                # requester in it lives on the same network; prime the
+                # whole cohort's label cache (requeue labelling reads it
+                # after the holder may have left the router).
+                net = self._network_for(requesters[0])
+                if net is not None:
+                    self.assigned_by_network[net] += k
+                    cache = self._net_of_pna
+                    for pna_id in requesters:
+                        cache[pna_id] = net
             trace = self._trace
             if trace is not None:
                 for i in range(k):
@@ -438,6 +486,10 @@ class Backend:
                 self._suppress_duplicate()
                 return
         self._completed[task_id] = self.sim.now
+        if self.completed_by_network is not None:
+            net = self._network_for(pna_id)
+            if net is not None:
+                self.completed_by_network[net] += 1
         self._holders.pop(task_id, None)
         self._attempts.pop(task_id, None)
         trace = self._trace
@@ -463,10 +515,37 @@ class Backend:
         return None
 
     def _send(self, pna_id: str, payload, payload_bits: float) -> None:
-        if not self.router.has_pna(pna_id):
-            return  # node vanished between request and reply
-        self.router.send_to_pna(self.backend_id, pna_id, payload,
-                                payload_bits, quiet=True)
+        for router in self.routers:
+            if router.has_pna(pna_id):
+                router.send_to_pna(self.backend_id, pna_id, payload,
+                                   payload_bits, quiet=True)
+                return
+        # node vanished between request and reply
+
+    def _network_for(self, pna_id: str) -> Optional[str]:
+        """Network label of the shard that owns ``pna_id`` (federated
+        mode only; cached — node→shard ownership never moves)."""
+        net = self._net_of_pna.get(pna_id)
+        if net is None:
+            for router in self.routers:
+                if router.has_pna(pna_id):
+                    net = self._net_of_router.get(router)
+                    if net is not None:
+                        self._net_of_pna[pna_id] = net
+                    break
+        return net
+
+    def _backoff_stream_for(self, pna_id: str) -> str:
+        """RNG stream for lease-backoff jitter: the historical
+        per-backend stream on single-network wiring, one stream per
+        shard under federation so each shard's re-dispatch schedule is
+        independent of cross-shard interleaving."""
+        if self.networks is None:
+            return self._backoff_stream
+        net = self._network_for(pna_id)
+        if net is None:
+            return self._backoff_stream
+        return f"{self._backoff_stream}:{net}"
 
     # -- lease management ----------------------------------------------------
     def _lease_loop(self):
@@ -482,6 +561,12 @@ class Backend:
                     assignment = self._in_flight.pop(tid)
                     self._pending.append(assignment[_T_TASK])
                     self.requeues += 1
+                    if self.requeues_by_network is not None:
+                        # Cached label: the holder may already be gone
+                        # from its router (that is why the lease died).
+                        net = self._net_of_pna.get(assignment[_T_PNA])
+                        if net is not None:
+                            self.requeues_by_network[net] += 1
                     self._attempts[tid] = self._attempts.get(tid, 0) + 1
                     if trace is not None:
                         trace.emit(now, "requeue", task=tid,
@@ -507,7 +592,8 @@ class Backend:
             trace.emit(self.sim.now, "crash", backend=self.backend_id,
                        in_flight=len(self._in_flight),
                        pending=len(self._pending))
-        self.router.unregister_component(self.backend_id)
+        for router in self.routers:
+            router.unregister_component(self.backend_id)
         if self._lease_proc is not None and self._lease_proc.alive:
             self._lease_proc.interrupt("backend crashed")
 
@@ -517,8 +603,10 @@ class Backend:
             return
         self.alive = True
         self.restarts += 1
-        self.router.register_component(self.backend_id, self._receive,
-                                       receive_payload=self._receive_payload)
+        for router in self.routers:
+            router.register_component(
+                self.backend_id, self._receive,
+                receive_payload=self._receive_payload)
         if self.lease_factor is not None and not self.done:
             self._lease_proc = self.sim.process(self._lease_loop())
         trace = self._trace
@@ -528,8 +616,9 @@ class Backend:
 
     def shutdown(self) -> None:
         """Unregister from the router and stop background processes."""
-        if self.alive:
-            self.router.unregister_component(self.backend_id)
-        self.router.unregister_task_server(self.backend_id, self)
+        for router in self.routers:
+            if self.alive:
+                router.unregister_component(self.backend_id)
+            router.unregister_task_server(self.backend_id, self)
         if self._lease_proc is not None and self._lease_proc.alive:
             self._lease_proc.interrupt("backend shutdown")

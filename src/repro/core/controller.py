@@ -183,6 +183,7 @@ class Controller:
         maintenance_interval_s: float = 60.0,
         heartbeat_grace_factor: float = 3.0,
         census_backend: Optional[str] = None,
+        network: str = "",
     ) -> None:
         if maintenance_interval_s <= 0:
             raise OddCIError("maintenance_interval_s must be > 0")
@@ -196,6 +197,10 @@ class Controller:
         self.probability_policy = probability_policy or DeficitProportional()
         self.maintenance_interval_s = maintenance_interval_s
         self.heartbeat_grace_factor = heartbeat_grace_factor
+        #: broadcast-network label for federated deployments.  Empty on
+        #: a single-network Controller: metric names and trace events
+        #: are then byte-identical to the pre-federation wiring.
+        self.network = network
 
         #: the census engine: registry + per-instance membership in one
         #: store (columnar by default, dict-backed reference on demand),
@@ -236,6 +241,16 @@ class Controller:
         # metrics (tested).  ``delivery.*`` describes the batching
         # itself and is excluded from parity.
         self._trace = _telemetry_channel("control")
+        #: extra kwargs stamped onto every trace event.  Empty dict on a
+        #: single-network Controller, so emitted events carry exactly
+        #: the historical field set (byte-parity with golden traces).
+        self._net_kw: Dict[str, str] = (
+            {"network": network} if network else {})
+
+        def _mname(name: str) -> str:
+            # Per-network metric label, e.g. ``census.heartbeats[dtv]``.
+            return f"{name}[{network}]" if network else name
+
         metrics = _telemetry_metrics()
         if metrics is None:
             self._m_heartbeats = None
@@ -249,18 +264,20 @@ class Controller:
             self._m_idle = None
             self._m_alive = None
         else:
-            self._m_heartbeats = metrics.counter("census.heartbeats")
-            self._m_stale = metrics.counter("census.stale_resets")
-            self._m_trim = metrics.counter("census.trim_resets")
-            self._m_batches = metrics.counter("delivery.batches")
-            self._m_batch_size = metrics.histogram("delivery.batch_size")
-            self._m_mttr = metrics.histogram("recovery.mttr_s")
-            self._m_deferred = metrics.counter("recovery.wakeups_deferred")
+            self._m_heartbeats = metrics.counter(_mname("census.heartbeats"))
+            self._m_stale = metrics.counter(_mname("census.stale_resets"))
+            self._m_trim = metrics.counter(_mname("census.trim_resets"))
+            self._m_batches = metrics.counter(_mname("delivery.batches"))
+            self._m_batch_size = metrics.histogram(
+                _mname("delivery.batch_size"))
+            self._m_mttr = metrics.histogram(_mname("recovery.mttr_s"))
+            self._m_deferred = metrics.counter(
+                _mname("recovery.wakeups_deferred"))
             # Census gauges, refreshed from array reductions at every
             # maintenance round.
-            self._m_registry = metrics.gauge("census.registry_size")
-            self._m_idle = metrics.gauge("census.idle")
-            self._m_alive = metrics.gauge("census.alive")
+            self._m_registry = metrics.gauge(_mname("census.registry_size"))
+            self._m_idle = metrics.gauge(_mname("census.idle"))
+            self._m_alive = metrics.gauge(_mname("census.alive"))
 
         router.register_component(controller_id, self._receive,
                                   receive_batch=self._receive_batch,
@@ -317,7 +334,7 @@ class Controller:
             trace = self._trace
             if trace is not None:
                 trace.emit(self.sim.now, "reset_deferred",
-                           instance=instance_id)
+                           instance=instance_id, **self._net_kw)
             return
         self._publish_reset(record)
 
@@ -326,7 +343,8 @@ class Controller:
         trace = self._trace
         if trace is not None:
             trace.emit(self.sim.now, "reset_publish",
-                       instance=record.instance_id, size=record.size)
+                       instance=record.instance_id, size=record.size,
+                       **self._net_kw)
         self.control_plane.publish_reset(payload, self._sign(payload))
         record.resets_sent += 1
         self.counters.incr("resets_broadcast")
@@ -395,7 +413,7 @@ class Controller:
             if trace is not None:
                 trace.emit(self.sim.now, "wakeup_deferred",
                            instance=record.instance_id,
-                           deficit=record.deficit)
+                           deficit=record.deficit, **self._net_kw)
             return
         deficit = max(record.deficit, 1)
         probability = self.probability_policy.probability(
@@ -413,7 +431,7 @@ class Controller:
         if trace is not None:
             trace.emit(self.sim.now, "wakeup_publish",
                        instance=record.instance_id, deficit=deficit,
-                       probability=probability)
+                       probability=probability, **self._net_kw)
         self.control_plane.publish_wakeup(payload, self._sign(payload))
         record.wakeups_sent += 1
         self.counters.incr("wakeups_broadcast")
@@ -439,7 +457,7 @@ class Controller:
             self._m_batch_size.observe(n)
         trace = self._trace
         if trace is not None:
-            trace.emit(self.sim.now, "heartbeat_batch", size=n)
+            trace.emit(self.sim.now, "heartbeat_batch", size=n, **self._net_kw)
 
     def _receive_batch(self, payloads: list) -> None:
         """Bulk entry point for same-instant heartbeat cohorts.
@@ -602,7 +620,7 @@ class Controller:
         if trace is not None:
             trace.emit(now, "maintenance_round",
                        instances=len(self.instances),
-                       registry=len(self.registry))
+                       registry=len(self.registry), **self._net_kw)
         if self._m_registry is not None:
             # Census gauges: pure array reductions on the columnar store.
             horizon = now - self._grace_window()
@@ -687,7 +705,7 @@ class Controller:
             self._m_mttr.observe(mttr)
         trace = self._trace
         if trace is not None:
-            trace.emit(now, "recovered", mttr_s=mttr)
+            trace.emit(now, "recovered", mttr_s=mttr, **self._net_kw)
 
     def _rebalance(self, record: InstanceRecord) -> None:
         band = record.spec.size_tolerance * record.spec.target_size
@@ -695,7 +713,7 @@ class Controller:
         if trace is not None and record.size != record.spec.target_size:
             trace.emit(self.sim.now, "rebalance",
                        instance=record.instance_id, size=record.size,
-                       target=record.spec.target_size)
+                       target=record.spec.target_size, **self._net_kw)
         if record.size < record.spec.target_size - band:
             # Deficit: recompose by re-broadcasting the wakeup.
             if record.status is not InstanceStatus.PROVISIONING:
@@ -750,7 +768,7 @@ class Controller:
         trace = self._trace
         if trace is not None:
             trace.emit(now, "crash", instances=len(self.instances),
-                       registry=len(self.registry))
+                       registry=len(self.registry), **self._net_kw)
         # Volatile state dies with the process: one store-wide wipe
         # clears the registry and every instance's membership column.
         self.census.clear()
@@ -833,7 +851,8 @@ class Controller:
         if trace is not None:
             down = now - self._crashed_at if self._crashed_at is not None \
                 else 0.0
-            trace.emit(now, "restore", instances=len(restored), down_s=down)
+            trace.emit(now, "restore", instances=len(restored), down_s=down,
+                       **self._net_kw)
 
     def shutdown(self) -> None:
         """Stop the maintenance loop and unregister."""

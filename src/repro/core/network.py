@@ -38,12 +38,16 @@ class Router:
     """Associates component ids with receive callbacks and PNA ids with
     their direct channels."""
 
-    def __init__(self, sim: Simulator) -> None:
+    def __init__(self, sim: Simulator, *,
+                 interner: Optional[NodeInterner] = None) -> None:
         self.sim = sim
         #: shared node-id interning table: the Router assigns every
         #: registered PNA its dense index, and census stores built on
-        #: this fabric share the table (see repro.core.census).
-        self.interner = NodeInterner()
+        #: this fabric share the table (see repro.core.census).  A
+        #: federation passes one table to all of its shard Routers so
+        #: indices are globally dense and shard ownership becomes a
+        #: contiguous id range (see repro.core.federation).
+        self.interner = NodeInterner() if interner is None else interner
         self._components: Dict[str, ReceiveFn] = {}
         self._batch_receivers: Dict[str, ReceiveBatchFn] = {}
         self._cohort_receivers: Dict[str, ReceiveCohortFn] = {}

@@ -13,7 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.errors import ControllerDownError, ProvisioningError
+from repro.errors import (
+    ControllerDownError,
+    InstanceError,
+    ProvisioningError,
+)
 from repro.core.backend import Backend, JobReport
 from repro.core.controller import Controller
 from repro.core.instance import InstanceRecord, InstanceSpec, InstanceStatus
@@ -61,15 +65,30 @@ class Provider:
         self.controller.resize_instance(instance_id, new_target)
 
     def release(self, instance_id: str) -> None:
-        """Dismantle an instance and shut down its backend, if any."""
+        """Dismantle an instance and shut down its backend, if any.
+
+        The submission entry is evicted: a released job's Backend must
+        not linger in :meth:`backends` (the fault-injection target set)
+        or keep the whole task table alive across a long multi-job run.
+        """
         self.controller.destroy_instance(instance_id)
-        submission = self._submissions.get(instance_id)
+        submission = self._submissions.pop(instance_id, None)
         if submission is not None:
             submission.backend.shutdown()
 
     def status(self, instance_id: str) -> dict:
-        """Human-readable status summary of one instance."""
-        record = self.controller.instance(instance_id)
+        """Human-readable status summary of one instance.
+
+        Raises :class:`~repro.errors.ProvisioningError` for an unknown
+        instance id — the Provider's front-door contract, regardless of
+        which layer (Controller table, submission map) missed it.
+        """
+        try:
+            record = self.controller.instance(instance_id)
+        except (KeyError, InstanceError):
+            # KeyError covers Controller doubles with bare dict lookups.
+            raise ProvisioningError(
+                f"unknown instance {instance_id!r}") from None
         out = {
             "instance_id": instance_id,
             "status": record.status.value,
@@ -139,8 +158,11 @@ class Provider:
         except ControllerDownError:
             # Job finished while the Controller was crashed: leave the
             # instance be — the lifetime mechanism (or an explicit
-            # release after restore) reaps it.
-            pass
+            # release after restore) reaps it.  The submission is still
+            # evicted so a dead Backend never lingers in backends().
+            submission = self._submissions.pop(instance_id, None)
+            if submission is not None:
+                submission.backend.shutdown()
 
     def run_job_to_completion(self, submission: Submission,
                               limit_s: float = 1e9) -> JobReport:

@@ -605,6 +605,12 @@ class CohortTaskEngine:
         attempts_pop = backend._attempts.pop
         trace_b = backend._trace
         job_n = backend.job.n
+        # Per-network result accounting (federated backends only): every
+        # member of this engine lives on this engine's router, so the
+        # label resolves once per run.  None on single-network wiring.
+        net_counts = getattr(backend, "completed_by_network", None)
+        net = backend._net_of_router.get(router) \
+            if net_counts is not None else None
         # Settling is monotonic and only this loop can flip it here:
         # when the event was already settled at entry no iteration can
         # observe a flip, so the per-member defer check reduces to one
@@ -618,6 +624,8 @@ class CohortTaskEngine:
             elif task_id not in completed_map \
                     and in_flight_pop(task_id, None) is not None:
                 completed_map[task_id] = now
+                if net is not None:
+                    net_counts[net] += 1
                 holders_pop(task_id, None)
                 attempts_pop(task_id, None)
                 if trace_b is not None:

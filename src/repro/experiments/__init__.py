@@ -11,6 +11,7 @@
 | A1–A6 | ablations | :mod:`~repro.experiments.ablations` |
 | S  | scalability | :func:`~repro.experiments.scalability.run_scalability` |
 | FS | fault sweep | :func:`~repro.experiments.fault_sweep.run_fault_sweep` |
+| FD | federation | :func:`~repro.experiments.federation_sweep.run_federation_sweep` |
 
 Every driver is decomposed into a *per-point* function (one grid point
 → one result record) and registered as a
@@ -44,6 +45,13 @@ from repro.experiments.fault_sweep import (
     point_fault_sweep,
     render_fault_sweep,
     run_fault_sweep,
+)
+from repro.experiments.federation_sweep import (
+    federation_networks,
+    finalize_federation_sweep,
+    point_federation_sweep,
+    render_federation_sweep,
+    run_federation_sweep,
 )
 from repro.experiments.fig6 import point_fig6, render_fig6, run_fig6
 from repro.experiments.fig7 import point_fig7, render_fig7, run_fig7
@@ -92,4 +100,7 @@ __all__ = [
     "run_scalability", "render_scalability", "point_scalability",
     "run_fault_sweep", "render_fault_sweep", "point_fault_sweep",
     "finalize_fault_sweep", "fault_plan_for_intensity",
+    "run_federation_sweep", "render_federation_sweep",
+    "point_federation_sweep", "finalize_federation_sweep",
+    "federation_networks",
 ]

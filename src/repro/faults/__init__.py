@@ -5,7 +5,10 @@ See :mod:`repro.faults.plan` for the plan model and DSL,
 DESIGN.md §10 for the fault taxonomy and recovery contract.
 """
 
-from repro.faults.availability import availability_fraction
+from repro.faults.availability import (
+    availability_fraction,
+    merged_size_series,
+)
 from repro.faults.injector import FaultInjector, FaultTargets
 from repro.faults.plan import (
     KINDS,
@@ -27,6 +30,7 @@ __all__ = [
     "FaultInjector",
     "FaultTargets",
     "availability_fraction",
+    "merged_size_series",
     "active_plan",
     "current_plan",
     "install_plan",

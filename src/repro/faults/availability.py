@@ -13,7 +13,34 @@ from __future__ import annotations
 
 from repro.errors import AnalysisError
 
-__all__ = ["availability_fraction"]
+__all__ = ["availability_fraction", "merged_size_series"]
+
+
+def merged_size_series(series_list, *, name: str = "merged"):
+    """Sum several step-function size series into one.
+
+    The federation-wide instance size is the sum of each network's
+    per-shard series; the merged series samples at every breakpoint of
+    any input (a series contributes 0 before its first sample), so
+    :func:`availability_fraction` over it measures the *federation's*
+    ability to hold the combined target while individual networks come
+    and go."""
+    from repro.sim.monitor import TimeSeries
+
+    columns = [(list(s.times), list(s.values)) for s in series_list]
+    breakpoints = sorted({t for times, _values in columns for t in times})
+    out = TimeSeries(name)
+    pointers = [0] * len(columns)
+    current = [0.0] * len(columns)
+    for t in breakpoints:
+        for i, (times, values) in enumerate(columns):
+            p = pointers[i]
+            while p < len(times) and times[p] <= t:
+                current[i] = values[p]
+                p += 1
+            pointers[i] = p
+        out.record(t, sum(current))
+    return out
 
 
 def availability_fraction(series, target_size: int, *,

@@ -39,19 +39,41 @@ class FaultTargets:
     ``backends``, ``nodes`` and ``links`` are zero-argument callables
     resolved at fire time, because fleets grow after construction
     (``add_receivers``, ``submit_job``).  ``links`` defaults to the
-    node uplinks."""
+    node uplinks.
 
-    def __init__(self, *, controller=None,
+    A federated deployment passes ``controllers=[...]`` and
+    ``broadcasts=[...]`` (one per shard); the singular ``controller`` /
+    ``broadcast`` forms remain the single-network spelling and are
+    readable back as the first entry, so existing wirings and plans
+    behave identically."""
+
+    def __init__(self, *, controller=None, controllers=None,
                  backends: Optional[Callable[[], Sequence]] = None,
-                 broadcast=None, carousel=None,
+                 broadcast=None, broadcasts=None, carousel=None,
                  nodes: Optional[Callable[[], Sequence]] = None,
                  links: Optional[Callable[[], Sequence]] = None) -> None:
-        self.controller = controller
+        if controllers is not None:
+            self.controllers = list(controllers)
+        else:
+            self.controllers = [controller] if controller is not None else []
+        if broadcasts is not None:
+            self.broadcasts = list(broadcasts)
+        else:
+            self.broadcasts = [broadcast] if broadcast is not None else []
         self.backends = backends if backends is not None else (lambda: [])
-        self.broadcast = broadcast
         self.carousel = carousel
         self.nodes = nodes if nodes is not None else (lambda: [])
         self.links = links if links is not None else self._node_links
+
+    @property
+    def controller(self):
+        """First (or only) controller — the single-network view."""
+        return self.controllers[0] if self.controllers else None
+
+    @property
+    def broadcast(self):
+        """First (or only) broadcast channel — the single-network view."""
+        return self.broadcasts[0] if self.broadcasts else None
 
     def _node_links(self) -> List:
         return [node.channel for node in self.nodes()
@@ -141,25 +163,40 @@ class FaultInjector:
             t.emit(self.sim.now, "restore", kind=kind, **fields)
 
     def _note_disruption(self) -> None:
-        controller = self.targets.controller
-        if controller is not None:
+        for controller in self.targets.controllers:
             controller.note_disruption()
+
+    def _pick_controllers(self, target: str) -> List:
+        """Controllers selected by an event's ``target``: the shard's
+        ``controller_id``, its network label, or — empty target — every
+        controller (the single-network behaviour)."""
+        controllers = self.targets.controllers
+        if not target:
+            return list(controllers)
+        return [c for c in controllers
+                if c.controller_id == target
+                or getattr(c, "network", "") == target]
 
     # Each _fire_<kind> applies the fault and schedules its restore.
 
     def _fire_controller_crash(self, ev: FaultEvent) -> None:
-        controller = self.targets.controller
-        if not controller.alive:
+        victims = [c for c in self._pick_controllers(ev.target) if c.alive]
+        if not victims:
             return
-        controller.crash()
+        for controller in victims:
+            controller.crash()
         if ev.duration_s > 0.0:
+            ids = tuple(c.controller_id for c in victims)
             self.sim.call_at(self.sim.now + ev.duration_s,
-                             self._restore_controller)
+                             self._restore_controllers, ids)
 
-    def _restore_controller(self) -> None:
-        controller = self.targets.controller
-        if not controller.alive:
-            controller.restore()
+    def _restore_controllers(self, ids) -> None:
+        restored = False
+        for controller in self.targets.controllers:
+            if controller.controller_id in ids and not controller.alive:
+                controller.restore()
+                restored = True
+        if restored:
             self._restored("controller_crash")
 
     def _fire_backend_crash(self, ev: FaultEvent) -> None:
@@ -230,18 +267,38 @@ class FaultInjector:
             if link.name in names and link.up:
                 link.set_up(False)
 
-    def _fire_broadcast_outage(self, ev: FaultEvent) -> None:
-        broadcast = self.targets.broadcast
-        broadcast.set_up(False)
-        self._note_disruption()
-        if ev.duration_s > 0.0:
-            self.sim.call_at(self.sim.now + ev.duration_s,
-                             self._restore_broadcast)
+    def _pick_broadcasts(self, target: str) -> List:
+        """Broadcast channels matching ``target`` (a channel name or a
+        network label, which maps to ``<label>.broadcast``).  No match —
+        or no target — selects every channel, so plans written for the
+        single-network wiring (where ``target`` never meant anything
+        here) keep their behaviour."""
+        channels = self.targets.broadcasts
+        if target:
+            matched = [b for b in channels
+                       if getattr(b, "name", None) in (
+                           target, f"{target}.broadcast")]
+            if matched:
+                return matched
+        return list(channels)
 
-    def _restore_broadcast(self) -> None:
-        broadcast = self.targets.broadcast
-        if not broadcast.up:
-            broadcast.set_up(True)
+    def _fire_broadcast_outage(self, ev: FaultEvent) -> None:
+        victims = self._pick_broadcasts(ev.target)
+        for broadcast in victims:
+            broadcast.set_up(False)
+        self._note_disruption()
+        if ev.duration_s > 0.0 and victims:
+            names = tuple(getattr(b, "name", "") for b in victims)
+            self.sim.call_at(self.sim.now + ev.duration_s,
+                             self._restore_broadcast, names)
+
+    def _restore_broadcast(self, names) -> None:
+        restored = False
+        for broadcast in self.targets.broadcasts:
+            if getattr(broadcast, "name", "") in names and not broadcast.up:
+                broadcast.set_up(True)
+                restored = True
+        if restored:
             self._restored("broadcast_outage")
 
     def _fire_carousel_interrupt(self, ev: FaultEvent) -> None:
@@ -256,15 +313,18 @@ class FaultInjector:
         self._note_disruption()
 
     def _fire_signature_corruption(self, ev: FaultEvent) -> None:
-        controller = self.targets.controller
-        controller.corrupt_signatures(True)
+        for controller in self._pick_controllers(ev.target):
+            controller.corrupt_signatures(True)
         self.sim.call_at(self.sim.now + ev.duration_s,
                          self._restore_signatures)
 
     def _restore_signatures(self) -> None:
-        controller = self.targets.controller
-        if controller.corrupting_signatures:
-            controller.corrupt_signatures(False)
+        restored = False
+        for controller in self.targets.controllers:
+            if controller.corrupting_signatures:
+                controller.corrupt_signatures(False)
+                restored = True
+        if restored:
             self._restored("signature_corruption")
 
     def _fire_churn_storm(self, ev: FaultEvent) -> None:

@@ -102,7 +102,14 @@ class FaultEvent:
         from the ``"faults"`` RNG stream at injector construction).
     target:
         Optional component id restricting the fault (e.g. a specific
-        backend); empty means "all eligible targets".
+        backend); empty means "all eligible targets".  For
+        ``controller_crash`` and ``signature_corruption`` under a
+        federated deployment the selector may also be a shard's
+        network label (``target=dtv``) or its ``controller_id``; for
+        ``broadcast_outage`` it may name a shard's broadcast channel
+        (``dtv`` matches ``dtv.broadcast``).  Single-network systems
+        have one eligible controller/channel, so the selector
+        degenerates to the historical behaviour.
     """
 
     kind: str

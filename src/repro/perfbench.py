@@ -52,6 +52,7 @@ __all__ = [
     "run_telemetry_overhead",
     "run_census_scenario",
     "run_dispatch_scenario",
+    "run_federation_scenario",
     "run_scales",
     "write_report",
     "main",
@@ -61,6 +62,7 @@ DEFAULT_SCALES = (1_000, 10_000, 100_000)
 KERNEL_SCALES = (10_000,)
 CENSUS_SCALES = (100_000,)
 DISPATCH_SCALES = (50_000,)
+FEDERATION_SCALES = (100_000,)
 
 #: Scenario constants — change these and old JSON is incomparable.
 SCENARIO = {
@@ -398,6 +400,93 @@ def run_dispatch_scenario(n_requesters: int, *, rounds: int = 5,
     }
 
 
+def run_federation_scenario(n_nodes: int, *, n_networks: int = 3,
+                            seed: Optional[int] = None,
+                            sample_interval_s: float = 5.0,
+                            task_path: Optional[str] = None
+                            ) -> Dict[str, float]:
+    """One full federated cycle: ``n_nodes`` PNAs across ``n_networks``.
+
+    The federated analogue of :func:`run_scenario` — three controller
+    shards over one shared interner, spread placement at full capacity,
+    one Backend routing the bag over every shard's fabric.  Records the
+    same wall/heap/makespan metrics plus the per-network completion
+    split, and asserts the merged accounting matches the bag before
+    returning (a fast federation that loses tasks cannot score).
+    """
+    from repro.core.federation import FederatedOddCISystem, NetworkDescriptor
+    from repro.core.instance import reset_instance_sequence
+    from repro.core.taskloop import resolve_task_path
+    from repro.workloads import uniform_bag
+
+    cfg = SCENARIO
+    task_path = resolve_task_path(task_path)
+    reset_instance_sequence()
+    base, extra = divmod(n_nodes, n_networks)
+    descriptors = [
+        NetworkDescriptor(name=f"net{i}",
+                          capacity=base + (1 if i < extra else 0),
+                          cost_per_node_hour=0.5 + 0.5 * i)
+        for i in range(n_networks)]
+    with _gc_paused():
+        t0 = time.perf_counter()
+        system = FederatedOddCISystem(
+            descriptors, seed=cfg["seed"] if seed is None else seed,
+            placement="spread",
+            maintenance_interval_s=cfg["maintenance_interval_s"],
+            task_path=task_path)
+        system.build_fleets(
+            heartbeat_interval_s=cfg["heartbeat_interval_s"],
+            dve_poll_interval_s=cfg["dve_poll_interval_s"])
+        build_wall_s = time.perf_counter() - t0
+
+        sim = system.sim
+        peak = {"heap": 0}
+
+        def sample() -> None:
+            heap_len = len(sim._heap)
+            if heap_len > peak["heap"]:
+                peak["heap"] = heap_len
+            sim.schedule(sample_interval_s, sample)
+
+        sim.schedule(0.0, sample)
+
+        job = uniform_bag(n_nodes * cfg["tasks_per_node"],
+                          image_bits=cfg["image_bits"],
+                          input_bits=cfg["input_bits"],
+                          ref_seconds=cfg["ref_seconds"],
+                          result_bits=cfg["result_bits"])
+        t1 = time.perf_counter()
+        submission = system.provider.submit_job(
+            job, target_size=n_nodes,
+            heartbeat_interval_s=cfg["heartbeat_interval_s"])
+        report = system.provider.run_job_to_completion(
+            submission, limit_s=1e7)
+        run_wall_s = time.perf_counter() - t1
+
+    backend = submission.backend
+    completed_by_network = dict(backend.completed_by_network)
+    assert sum(completed_by_network.values()) == report.n_tasks, \
+        "per-network completion accounting diverged from the bag"
+    events = sim.events_executed
+    return {
+        "n_nodes": n_nodes,
+        "n_networks": n_networks,
+        "task_path": task_path,
+        "events": events,
+        "events_per_sec": events / run_wall_s if run_wall_s > 0 else 0.0,
+        "peak_heap": peak["heap"],
+        "build_wall_s": round(build_wall_s, 4),
+        "run_wall_s": round(run_wall_s, 4),
+        "wall_s": round(build_wall_s + run_wall_s, 4),
+        "makespan": report.makespan,
+        "sim_time": sim.now,
+        "n_tasks": report.n_tasks,
+        "distinct_workers": report.distinct_workers,
+        "completed_by_network": completed_by_network,
+    }
+
+
 def run_scales(scales: List[int],
                kernel_scales: Optional[List[int]] = None,
                *, verbose: bool = True,
@@ -491,7 +580,35 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--dispatch-scales", type=int, nargs="+",
                         default=list(DISPATCH_SCALES),
                         help="dispatch-family requester counts")
+    parser.add_argument("--federation", action="store_true",
+                        help="measure the federated control plane "
+                             "(multi-network cycle) instead of the "
+                             "scenario families")
+    parser.add_argument("--federation-scales", type=int, nargs="+",
+                        default=list(FEDERATION_SCALES),
+                        help="federation-family total fleet sizes")
     args = parser.parse_args(argv)
+    if args.federation:
+        out = args.out if args.out != "BENCH_event_tier.json" \
+            else "BENCH_federation.json"
+        federation: Dict[str, dict] = {}
+        for n in args.federation_scales:
+            metrics = _maybe_profiled(args.profile, run_federation_scenario,
+                                      int(n), task_path=args.task_path)
+            federation[str(n)] = metrics
+            print(f"  federation n={n:>7}  "
+                  f"events={metrics['events']:>10}  "
+                  f"{metrics['events_per_sec']:>10.0f} ev/s  "
+                  f"wall={metrics['wall_s']:.2f}s  "
+                  f"makespan={metrics['makespan']:.3f}  "
+                  f"nets={metrics['n_networks']}")
+        if args.profile:
+            print(f"[profiled run: {out} left untouched]")
+        else:
+            write_report(out, {"federation": federation}, args.label,
+                         merge_into=out, benchmark="federation")
+            print(f"[written to {out}]")
+        return 0
     if args.dispatch:
         out = args.out if args.out != "BENCH_event_tier.json" \
             else "BENCH_dispatch.json"

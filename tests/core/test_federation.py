@@ -1,0 +1,183 @@
+"""Federated control plane: shards, placement, multi-network routing."""
+
+import pytest
+
+from repro.core import (
+    FederatedOddCISystem,
+    NetworkDescriptor,
+    split_target,
+)
+from repro.errors import ConfigurationError, ProvisioningError
+from repro.faults import availability_fraction, merged_size_series
+from repro.workloads import uniform_bag
+
+
+def three_networks(capacity=6):
+    return [
+        NetworkDescriptor(name="desk", capacity=capacity,
+                          cost_per_node_hour=0.5),
+        NetworkDescriptor(name="dtv", capacity=capacity,
+                          cost_per_node_hour=1.0),
+        NetworkDescriptor(name="cell", capacity=capacity,
+                          cost_per_node_hour=2.0),
+    ]
+
+
+def running_federation(placement="cost", capacity=6, seed=0):
+    system = FederatedOddCISystem(
+        three_networks(capacity), seed=seed, placement=placement,
+        maintenance_interval_s=20.0)
+    system.build_fleets(heartbeat_interval_s=10.0, dve_poll_interval_s=5.0)
+    return system
+
+
+# -- descriptor & placement math ---------------------------------------------
+
+def test_network_descriptor_validation():
+    with pytest.raises(ConfigurationError):
+        NetworkDescriptor(name="", capacity=4)
+    with pytest.raises(ConfigurationError):
+        NetworkDescriptor(name="x", capacity=0)
+    with pytest.raises(ConfigurationError):
+        NetworkDescriptor(name="x", capacity=4, delta_loss=1.5)
+    with pytest.raises(ConfigurationError):
+        NetworkDescriptor(name="x", capacity=4,
+                          device_mix={"settop": 1.3})
+
+
+def test_split_target_cost_fills_cheapest_first():
+    entries = [("dtv", 10, 1.0), ("cell", 10, 2.0), ("desk", 10, 0.5)]
+    assert split_target(7, entries, "cost") == {"desk": 7}
+    assert split_target(14, entries, "cost") == {"desk": 10, "dtv": 4}
+    assert split_target(25, entries, "cost") == {
+        "desk": 10, "dtv": 10, "cell": 5}
+
+
+def test_split_target_spread_is_proportional():
+    entries = [("a", 10, 1.0), ("b", 10, 1.0), ("c", 5, 1.0)]
+    shares = split_target(10, entries, "spread")
+    assert sum(shares.values()) == 10
+    assert shares == {"a": 4, "b": 4, "c": 2}
+
+
+def test_split_target_errors():
+    entries = [("a", 3, 1.0)]
+    with pytest.raises(ProvisioningError):
+        split_target(4, entries)          # headroom exhausted
+    with pytest.raises(ProvisioningError):
+        split_target(0, entries)          # nonsense target
+    with pytest.raises(ConfigurationError):
+        split_target(1, entries, "random")  # unknown policy
+
+
+# -- shard id ranges ----------------------------------------------------------
+
+def test_shard_id_ranges_are_contiguous_and_disjoint():
+    system = running_federation()
+    previous_hi = 0
+    for shard in system.shards:
+        lo, hi = shard.id_range
+        assert lo == previous_hi
+        assert hi - lo == len(shard.pnas) == 6
+        assert shard.owns_index(lo)
+        assert shard.owns_index(hi - 1)
+        assert not shard.owns_index(hi)
+        previous_hi = hi
+    # One shared table covers exactly the federation's fleet.
+    assert len(system.interner) == previous_hi == len(system.pnas)
+
+
+# -- multi-network job routing ------------------------------------------------
+
+def test_job_completes_with_merged_per_network_accounting():
+    system = running_federation(placement="cost")
+    job = uniform_bag(40, image_bits=1e6, ref_seconds=5.0)
+    submission = system.provider.submit_job(
+        job, target_size=10, heartbeat_interval_s=10.0,
+        release_on_completion=False)
+    # cost placement: all of desk (6), remainder on dtv.
+    assert submission.shares == {"desk": 6, "dtv": 4}
+    system.provider.run_job_to_completion(submission, limit_s=1e5)
+    backend = submission.backend
+    assert backend.done
+    assert sum(backend.assigned_by_network.values()) == \
+        backend.tasks_assigned
+    assert sum(backend.completed_by_network.values()) == job.n
+    assert backend.completed_by_network["desk"] > 0
+    assert backend.completed_by_network["dtv"] > 0
+    assert backend.completed_by_network["cell"] == 0
+
+
+def test_status_and_size_series_merge_networks():
+    system = running_federation(placement="spread")
+    job = uniform_bag(5000, image_bits=1e6, ref_seconds=60.0)
+    submission = system.provider.submit_job(
+        job, target_size=9, heartbeat_interval_s=10.0)
+    system.sim.run(until=120.0)
+    status = system.provider.status(submission)
+    assert status["target_size"] == 9
+    assert set(status["networks"]) == {"desk", "dtv", "cell"}
+    assert status["size"] == 9
+    merged = merged_size_series(
+        [s for _n, s in system.provider.size_series(submission)])
+    assert merged.last() == 9
+    assert availability_fraction(merged, 9, until=120.0) > 0.5
+    assert system.provider.cost_estimate(submission, 120.0) > 0.0
+
+
+def test_resize_recommits_and_release_evicts():
+    system = running_federation(placement="spread")
+    job = uniform_bag(5000, image_bits=1e6, ref_seconds=60.0)
+    submission = system.provider.submit_job(
+        job, target_size=9, heartbeat_interval_s=10.0,
+        release_on_completion=False)
+    assert sum(submission.shares.values()) == 9
+    system.sim.run(until=60.0)
+    shares = system.provider.resize(submission, 15)
+    assert sum(shares.values()) == 15
+    assert all(system.provider.committed(n) == s
+               for n, s in shares.items())
+    with pytest.raises(ProvisioningError):
+        system.provider.resize(submission, 99)  # beyond total capacity
+    system.provider.release(submission)
+    assert system.provider.backends() == []
+    assert all(system.provider.committed(n) == 0
+               for n in ("desk", "dtv", "cell"))
+
+
+def test_departure_rebalances_to_survivors_and_rejoin_restores():
+    system = running_federation(placement="spread")
+    job = uniform_bag(5000, image_bits=1e6, ref_seconds=60.0)
+    submission = system.provider.submit_job(
+        job, target_size=9, heartbeat_interval_s=10.0,
+        release_on_completion=False)
+    system.sim.run(until=60.0)
+    system.shard("cell").depart()
+    shares = system.provider.rebalance(submission)
+    assert set(shares) == {"desk", "dtv"}
+    assert sum(shares.values()) == 9
+    system.shard("cell").rejoin()
+    shares = system.provider.rebalance(submission)
+    assert set(shares) == {"desk", "dtv", "cell"}
+    assert sum(shares.values()) == 9
+    # The retired cell instance plus its replacement both appear in the
+    # accounting history (size series spans re-creations).
+    cell_series = [s for n, s in system.provider.size_series(submission)
+                   if n == "cell"]
+    assert len(cell_series) == 2
+
+
+def test_rebalance_degrades_when_survivors_cannot_seat_target():
+    system = running_federation(placement="spread", capacity=4)
+    job = uniform_bag(5000, image_bits=1e6, ref_seconds=60.0)
+    submission = system.provider.submit_job(
+        job, target_size=9, heartbeat_interval_s=10.0,
+        release_on_completion=False)
+    system.sim.run(until=60.0)
+    system.shard("desk").depart()
+    shares = system.provider.rebalance(submission)
+    # Best effort: 8 of 9 seats on the two survivors, not an exception.
+    assert shares == {"dtv": 4, "cell": 4}
+    assert submission.target_size == 9
+    system.shard("desk").rejoin()
+    assert sum(system.provider.rebalance(submission).values()) == 9

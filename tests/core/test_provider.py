@@ -1,0 +1,130 @@
+"""Provider front-door contract: raw instances, submissions, eviction."""
+
+import pytest
+
+from repro.core import InstanceSpec, InstanceStatus, OddCISystem
+from repro.errors import InstanceError, ProvisioningError
+from repro.workloads import uniform_bag
+
+
+def ready_system(seed=0, n_pnas=8):
+    system = OddCISystem(seed=seed, maintenance_interval_s=20.0)
+    system.add_pnas(n_pnas, heartbeat_interval_s=10.0,
+                    dve_poll_interval_s=5.0)
+    return system
+
+
+# -- raw instance API ---------------------------------------------------------
+
+def test_request_instance_provisions_bare_capacity():
+    system = ready_system()
+    record = system.provider.request_instance(InstanceSpec(
+        target_size=4, image_name="bare", image_bits=1e6,
+        heartbeat_interval_s=10.0))
+    system.sim.run(until=60.0)
+    assert record.size == 4
+    status = system.provider.status(record.instance_id)
+    assert status["size"] == 4
+    assert status["target_size"] == 4
+    # No job attached: no task progress fields.
+    assert "tasks_completed" not in status
+
+
+def test_resize_raw_instance_up_and_down():
+    system = ready_system()
+    record = system.provider.request_instance(InstanceSpec(
+        target_size=3, image_name="bare", image_bits=1e6,
+        heartbeat_interval_s=10.0))
+    system.sim.run(until=60.0)
+    system.provider.resize(record.instance_id, 6)
+    assert record.spec.target_size == 6
+    system.sim.run(until=150.0)
+    assert record.size == 6
+    system.provider.resize(record.instance_id, 2)
+    system.sim.run(until=260.0)
+    assert record.size == 2
+
+
+def test_release_dismantles_raw_instance():
+    system = ready_system()
+    record = system.provider.request_instance(InstanceSpec(
+        target_size=3, image_name="bare", image_bits=1e6,
+        heartbeat_interval_s=10.0))
+    system.sim.run(until=60.0)
+    system.provider.release(record.instance_id)
+    assert record.status is InstanceStatus.DISMANTLING
+    # Releasing a dismantling instance is an error, not a silent no-op.
+    with pytest.raises(InstanceError):
+        system.provider.release(record.instance_id)
+
+
+def test_status_unknown_instance_is_provisioning_error():
+    system = ready_system()
+    with pytest.raises(ProvisioningError):
+        system.provider.status("no-such-instance")
+
+
+# -- submission bookkeeping ---------------------------------------------------
+
+def test_release_evicts_submission_and_stops_backend():
+    system = ready_system()
+    job = uniform_bag(12, image_bits=1e6, ref_seconds=5.0)
+    submission = system.provider.submit_job(
+        job, target_size=4, heartbeat_interval_s=10.0,
+        release_on_completion=False)
+    assert system.provider.backends() == [submission.backend]
+    system.provider.run_job_to_completion(submission, limit_s=1e5)
+    assert submission.backend.done
+    system.provider.release(submission.instance_id)
+    # Eviction: the Backend must leave the fault-injection target set
+    # and the submission map (the leak this contract pins down).
+    assert system.provider.backends() == []
+    assert system.provider._submissions == {}
+    status = system.provider.status(submission.instance_id)
+    assert status["status"] == InstanceStatus.DISMANTLING.value
+
+
+def test_auto_release_evicts_on_completion():
+    system = ready_system()
+    job = uniform_bag(12, image_bits=1e6, ref_seconds=5.0)
+    submission = system.provider.submit_job(
+        job, target_size=4, heartbeat_interval_s=10.0)
+    system.provider.run_job_to_completion(submission, limit_s=1e5)
+    assert submission.backend.done
+    # The done-event callback lands right after the event fires; drain a
+    # little sim time before observing the eviction.
+    system.sim.run(until=system.sim.now + 30.0)
+    assert system.provider.backends() == []
+    assert submission.record.status in (InstanceStatus.DISMANTLING,
+                                        InstanceStatus.DESTROYED)
+
+
+def test_auto_release_races_crashed_controller():
+    """Job finishes while the Controller is down: the instance cannot be
+    dismantled (no control plane) but the submission must still be
+    evicted — a dead Backend must not linger in backends()."""
+    system = ready_system()
+    job = uniform_bag(12, image_bits=1e6, ref_seconds=5.0)
+    submission = system.provider.submit_job(
+        job, target_size=4, heartbeat_interval_s=10.0)
+    backend = submission.backend
+    # Let the whole bag get assigned, then kill the Controller while the
+    # last results are still in flight (short tasks: they outrun the
+    # heartbeat-starvation disengage of the now-unanswered fleet).
+    while (backend.tasks_assigned < job.n
+           and system.sim.now < 500.0):
+        system.sim.run(until=system.sim.now + 1.0)
+    assert backend.tasks_assigned >= job.n
+    assert not backend.done
+    system.controller.crash()
+    system.provider.run_job_to_completion(submission, limit_s=1e5)
+    assert backend.done
+    system.sim.run(until=system.sim.now + 30.0)
+    # Crashed Controller: no dismantle happened, but the entry is gone.
+    assert submission.record.status not in (InstanceStatus.DISMANTLING,
+                                            InstanceStatus.DESTROYED)
+    assert system.provider.backends() == []
+    # After restore the instance can be released for real.
+    system.controller.restore()
+    system.provider.release(submission.instance_id)
+    assert submission.record.status is InstanceStatus.DISMANTLING

@@ -87,10 +87,10 @@ def test_release_unknown_instance_raises():
 
 
 def test_status_unknown_instance_raises():
-    from repro.errors import InstanceError
+    from repro.errors import ProvisioningError
 
     system = OddCISystem(seed=1)
-    with pytest.raises(InstanceError):
+    with pytest.raises(ProvisioningError):
         system.provider.status("nope")
 
 
