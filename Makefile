@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test experiments bench bench-quick bench-floor trace-demo \
-	faults-smoke federation-smoke
+	faults-smoke federation-smoke serve-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -33,6 +33,8 @@ bench-quick:
 		--out /tmp/bench_census_quick.json
 	$(PYTHON) -m repro bench --dispatch --dispatch-scales 20000 \
 		--out /tmp/bench_dispatch_quick.json
+	$(PYTHON) -m repro bench --serve --serve-scales 16 \
+		--out /tmp/bench_serve_quick.json
 
 # Reduced-scale event-kernel floor guard (the 10^6 < 60s claim,
 # scaled): benchmarks/test_event_kernel_floor.py under --run-perf.
@@ -62,3 +64,13 @@ federation-smoke:
 		tests/faults/test_shard_faults.py tests/core/test_provider.py -q
 	REPRO_FLOOR_SCALE=20000 $(PYTHON) -m pytest \
 		benchmarks/test_federation_floor.py -q --run-perf
+
+# Request-driven service tier smoke: both serve scenarios through the
+# parallel runner, the serve unit/fault suites, and the warm-pool perf
+# floor at reduced scale (DESIGN.md §14).
+serve-smoke:
+	$(PYTHON) -m repro service_sweep --smoke --jobs 2
+	$(PYTHON) -m repro flash_crowd --smoke --jobs 2
+	$(PYTHON) -m pytest tests/serve tests/faults/test_serve_faults.py -q
+	REPRO_FLOOR_SCALE=16 $(PYTHON) -m pytest \
+		benchmarks/test_serve_floor.py -q --run-perf

@@ -10,8 +10,9 @@ job completes.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.errors import (
     ControllerDownError,
@@ -24,7 +25,116 @@ from repro.core.instance import InstanceRecord, InstanceSpec, InstanceStatus
 from repro.sim.core import Event, Simulator
 from repro.workloads.job import Job
 
-__all__ = ["Provider", "Submission"]
+__all__ = ["Provider", "ProvisioningTicket", "Submission", "ready_size_for"]
+
+
+def ready_size_for(spec: InstanceSpec) -> int:
+    """Member count at which an instance counts as *ready*.
+
+    Mirrors the Controller's tolerance band: the instance is within
+    tolerance once ``target - floor(tolerance * target)`` nodes joined.
+    Always at least 1 so a ticket can never be satisfied by an empty
+    instance.
+    """
+    target = spec.target_size
+    return max(1, target - int(math.floor(spec.size_tolerance * target)))
+
+
+class ProvisioningTicket:
+    """Async handle for an in-flight capacity request.
+
+    Wraps the polling loop between "the Controller accepted the spec"
+    and "enough PNAs joined the census": the ticket samples a size
+    callable on the DES clock and settles :attr:`event` exactly once —
+
+    * ``succeed(ticket)`` when the observed size first reaches
+      ``ready_size`` (``time_to_ready`` records the latency), or
+    * ``fail(ProvisioningError)`` when ``timeout_s`` elapses first, or
+      :meth:`cancel` is called.
+
+    The ticket never tears capacity down itself — the caller owns the
+    instance and decides between :meth:`Provider.release` and
+    :meth:`Provider.cancel_request` on failure.
+    """
+
+    __slots__ = ("sim", "ready_size", "size_fn", "tenant", "request_id",
+                 "poll_interval_s", "requested_at", "deadline",
+                 "event", "record", "_done")
+
+    def __init__(self, sim: Simulator, *, ready_size: int,
+                 size_fn: Callable[[], int],
+                 tenant: str = "", request_id: str = "",
+                 poll_interval_s: float = 1.0,
+                 timeout_s: Optional[float] = None,
+                 record: Optional[InstanceRecord] = None) -> None:
+        if ready_size <= 0:
+            raise ProvisioningError(
+                f"ready_size must be > 0, got {ready_size}",
+                tenant=tenant, request_id=request_id, reason="bad_request")
+        self.sim = sim
+        self.ready_size = int(ready_size)
+        self.size_fn = size_fn
+        self.tenant = tenant
+        self.request_id = request_id
+        self.poll_interval_s = float(poll_interval_s)
+        self.requested_at = sim.now
+        self.deadline = (None if timeout_s is None
+                         else sim.now + float(timeout_s))
+        self.event = Event(sim, name=f"ticket:{request_id or 'anon'}")
+        self.record = record
+        self._done = False
+        self._poll()
+
+    # -- inspection -----------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def instance_id(self) -> Optional[str]:
+        return None if self.record is None else self.record.instance_id
+
+    @property
+    def time_to_ready(self) -> float:
+        """Seconds from request to ready (only once settled ok)."""
+        return self.event.value  # raises if unsettled; exc if failed
+
+    # -- polling loop -----------------------------------------------------
+    def _poll(self) -> None:
+        if self._done:
+            return
+        now = self.sim.now
+        if self.size_fn() >= self.ready_size:
+            self._done = True
+            self.event.succeed(now - self.requested_at)
+            return
+        if self.deadline is not None and now >= self.deadline:
+            self._done = True
+            self.event.fail(ProvisioningError(
+                f"request {self.request_id or '?'} timed out after "
+                f"{now - self.requested_at:.1f}s "
+                f"(size {self.size_fn()}/{self.ready_size})",
+                tenant=self.tenant, request_id=self.request_id,
+                reason="timeout"))
+            return
+        next_at = now + self.poll_interval_s
+        if self.deadline is not None:
+            next_at = min(next_at, self.deadline)
+        self.sim.call_at(next_at, self._poll)
+
+    def cancel(self, reason: str = "cancelled") -> bool:
+        """Settle the ticket as failed; ``False`` if already settled.
+
+        The stale poll callback notices ``_done`` and goes quiet — no
+        handle bookkeeping on the fast-path calendar.
+        """
+        if self._done:
+            return False
+        self._done = True
+        self.event.fail(ProvisioningError(
+            f"request {self.request_id or '?'} cancelled",
+            tenant=self.tenant, request_id=self.request_id, reason=reason))
+        return True
 
 
 @dataclass
@@ -61,6 +171,31 @@ class Provider:
         """Provision an instance with no job attached (bare capacity)."""
         return self.controller.create_instance(spec)
 
+    def request_instance_async(
+        self,
+        spec: InstanceSpec,
+        *,
+        tenant: str = "",
+        request_id: str = "",
+        poll_interval_s: float = 1.0,
+        timeout_s: Optional[float] = None,
+    ) -> ProvisioningTicket:
+        """Provision bare capacity and return a completion ticket.
+
+        Raises immediately (``ControllerDownError``) if the control
+        plane refuses the spec; otherwise the returned ticket's
+        ``event`` settles when the census reaches the tolerance band or
+        the timeout expires.  The service tier's create path is built on
+        this call.
+        """
+        record = self.controller.create_instance(spec)
+        return ProvisioningTicket(
+            self.sim, ready_size=ready_size_for(spec),
+            size_fn=lambda: record.size,
+            tenant=tenant, request_id=request_id,
+            poll_interval_s=poll_interval_s, timeout_s=timeout_s,
+            record=record)
+
     def resize(self, instance_id: str, new_target: int) -> None:
         self.controller.resize_instance(instance_id, new_target)
 
@@ -70,11 +205,38 @@ class Provider:
         The submission entry is evicted: a released job's Backend must
         not linger in :meth:`backends` (the fault-injection target set)
         or keep the whole task table alive across a long multi-job run.
+        Eviction happens even when the dismantle itself fails — a
+        crashed Controller (``ControllerDownError``) or an instance
+        already DISMANTLING (``InstanceError``) must not leak the
+        submission entry; the lifetime mechanism reaps the instance.
         """
-        self.controller.destroy_instance(instance_id)
-        submission = self._submissions.pop(instance_id, None)
-        if submission is not None:
-            submission.backend.shutdown()
+        try:
+            self.controller.destroy_instance(instance_id)
+        finally:
+            submission = self._submissions.pop(instance_id, None)
+            if submission is not None:
+                submission.backend.shutdown()
+
+    def cancel_request(self, instance_id: str,
+                       ticket: Optional[ProvisioningTicket] = None) -> bool:
+        """Cancel an in-flight request: best-effort dismantle + evict.
+
+        The explicit cancel path for instances still PROVISIONING: the
+        ticket (if any) is failed with ``reason="cancelled"``, the
+        submission entry is evicted unconditionally, and the dismantle
+        is *best-effort* — returns ``True`` if the Controller accepted
+        it, ``False`` if the instance was already gone or the control
+        plane is down (the lifetime mechanism reaps it after restore).
+        Unlike :meth:`release` this never raises on those races, so
+        callers on request-cancellation paths can't leak state.
+        """
+        if ticket is not None:
+            ticket.cancel()
+        try:
+            self.release(instance_id)
+            return True
+        except (InstanceError, KeyError, ControllerDownError):
+            return False
 
     def status(self, instance_id: str) -> dict:
         """Human-readable status summary of one instance.

@@ -23,6 +23,8 @@ Hierarchy::
     ├── OddCIError
     │   ├── InstanceError
     │   ├── ProvisioningError
+    │   ├── AdmissionError
+    │   │   └── QuotaExceededError
     │   └── FaultError
     │       ├── BackendError
     │       ├── ControllerDownError
@@ -41,6 +43,12 @@ tests can catch "anything a fault plan can provoke" with one handler.
 :class:`LinkDownError` and :class:`SignatureError` keep
 :class:`NetworkError` as their primary base (existing ``except
 NetworkError`` sites keep working) and mix :class:`FaultError` in.
+
+The request-path errors — :class:`ProvisioningError`,
+:class:`AdmissionError` and :class:`QuotaExceededError` — carry
+structured context (``tenant``, ``request_id``, ``reason``) so the
+service tier and its SLO accounting can classify a failure without
+parsing the message string.
 """
 
 from __future__ import annotations
@@ -122,8 +130,38 @@ class InstanceError(OddCIError):
     """Invalid operation on an OddCI instance (unknown id, bad state...)."""
 
 
-class ProvisioningError(OddCIError):
+class RequestContextMixin:
+    """Structured request context shared by the request-path errors.
+
+    ``tenant`` / ``request_id`` / ``reason`` default to ``""`` so every
+    existing ``raise ProvisioningError("message")`` site keeps working;
+    the service tier fills them in so rejection accounting never has to
+    parse the human-readable message.
+    """
+
+    def __init__(self, message: str = "", *, tenant: str = "",
+                 request_id: str = "", reason: str = "") -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.request_id = request_id
+        self.reason = reason
+
+    def context(self) -> dict:
+        """The structured fields as a plain dict (for trace events)."""
+        return {"tenant": self.tenant, "request_id": self.request_id,
+                "reason": self.reason}
+
+
+class ProvisioningError(RequestContextMixin, OddCIError):
     """The provider could not satisfy an instance creation request."""
+
+
+class AdmissionError(RequestContextMixin, OddCIError):
+    """The gateway refused a service request (rate limit, queue full)."""
+
+
+class QuotaExceededError(AdmissionError):
+    """A tenant exceeded a configured quota (instances, node-hours)."""
 
 
 class BackendError(FaultError):

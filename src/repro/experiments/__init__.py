@@ -12,6 +12,8 @@
 | S  | scalability | :func:`~repro.experiments.scalability.run_scalability` |
 | FS | fault sweep | :func:`~repro.experiments.fault_sweep.run_fault_sweep` |
 | FD | federation | :func:`~repro.experiments.federation_sweep.run_federation_sweep` |
+| SV | service tier | :func:`~repro.experiments.service_sweep.run_service_sweep` |
+| FC | flash crowd | :func:`~repro.experiments.flash_crowd.run_flash_crowd` |
 
 Every driver is decomposed into a *per-point* function (one grid point
 → one result record) and registered as a
@@ -54,7 +56,19 @@ from repro.experiments.federation_sweep import (
     run_federation_sweep,
 )
 from repro.experiments.fig6 import point_fig6, render_fig6, run_fig6
+from repro.experiments.flash_crowd import (
+    finalize_flash_crowd,
+    point_flash_crowd,
+    render_flash_crowd,
+    run_flash_crowd,
+)
 from repro.experiments.fig7 import point_fig7, render_fig7, run_fig7
+from repro.experiments.service_sweep import (
+    finalize_service_sweep,
+    point_service_sweep,
+    render_service_sweep,
+    run_service_sweep,
+)
 from repro.experiments.scalability import (
     point_scalability,
     render_scalability,
@@ -103,4 +117,8 @@ __all__ = [
     "run_federation_sweep", "render_federation_sweep",
     "point_federation_sweep", "finalize_federation_sweep",
     "federation_networks",
+    "run_service_sweep", "render_service_sweep",
+    "point_service_sweep", "finalize_service_sweep",
+    "run_flash_crowd", "render_flash_crowd",
+    "point_flash_crowd", "finalize_flash_crowd",
 ]

@@ -53,6 +53,7 @@ __all__ = [
     "run_census_scenario",
     "run_dispatch_scenario",
     "run_federation_scenario",
+    "run_serve_scenario",
     "run_scales",
     "write_report",
     "main",
@@ -63,6 +64,7 @@ KERNEL_SCALES = (10_000,)
 CENSUS_SCALES = (100_000,)
 DISPATCH_SCALES = (50_000,)
 FEDERATION_SCALES = (100_000,)
+SERVE_SCALES = (32,)
 
 #: Scenario constants — change these and old JSON is incomparable.
 SCENARIO = {
@@ -487,6 +489,89 @@ def run_federation_scenario(n_nodes: int, *, n_networks: int = 3,
     }
 
 
+def run_serve_scenario(n_pnas: int, *, offered_rps: Optional[float] = None,
+                       warm_target: int = 2,
+                       horizon_s: float = 600.0,
+                       seed: Optional[int] = None) -> Dict[str, float]:
+    """Warm-pool benefit on the request tier: cold vs warm, same load.
+
+    Runs the full service pipeline (open-loop Poisson traffic → gateway
+    → pool → Provider) twice at the same offered load — once with the
+    warm pool disabled, once at ``warm_target`` — and records the p50 /
+    p99 time-to-ready of both, the warm run's pool hit ratio and the
+    ``p99_improvement`` ratio (cold p99 over warm p99), the number the
+    floor guard in ``benchmarks/test_serve_floor.py`` tracks.  Both
+    runs must settle every issued request (``lost == 0``) or the
+    scenario refuses to score — a fast tier that strands requests is
+    not a result.
+    """
+    from repro.core import OddCISystem
+    from repro.core.instance import reset_instance_sequence
+    from repro.serve import (
+        GatewayConfig,
+        PoolConfig,
+        ServiceTier,
+        TrafficSpec,
+    )
+
+    cfg = SCENARIO
+    # Default load sits just below the fleet's knee (per Little's law
+    # ~n/4 concurrent instances against ~(ttr + hold) residence), so
+    # the cold run strains visibly while the warm run still clears —
+    # the regime where standby capacity matters most.
+    rate = offered_rps if offered_rps is not None else 0.00125 * n_pnas
+
+    def run_once(warm: int):
+        reset_instance_sequence()
+        with _gc_paused():
+            t0 = time.perf_counter()
+            system = OddCISystem(
+                seed=cfg["seed"] if seed is None else seed,
+                maintenance_interval_s=15.0)
+            system.add_pnas(n_pnas, heartbeat_interval_s=10.0,
+                            dve_poll_interval_s=cfg["dve_poll_interval_s"])
+            traffic = TrafficSpec(
+                pattern="poisson", rate_rps=rate, horizon_s=horizon_s,
+                n_tenants=4, target_size=4, hold_s_mean=60.0)
+            tier = ServiceTier(
+                system, traffic,
+                gateway=GatewayConfig(max_concurrent=6),
+                pool=PoolConfig(warm_target=warm, standby_size=4,
+                                refill_interval_s=20.0),
+                heartbeat_interval_s=10.0)
+            summary = tier.run()
+            wall_s = time.perf_counter() - t0
+        return summary, wall_s, system.sim.events_executed
+
+    cold, cold_wall, cold_events = run_once(0)
+    warm, warm_wall, warm_events = run_once(warm_target)
+    assert cold["lost"] == 0 and warm["lost"] == 0, \
+        "service tier stranded requests; timings are meaningless"
+    warm_p99 = warm["ttr_p99_s"]
+    return {
+        "n_pnas": n_pnas,
+        "offered_rps": rate,
+        "horizon_s": horizon_s,
+        "warm_target": warm_target,
+        "issued": cold["issued"],
+        "cold_ttr_p50_s": cold["ttr_p50_s"],
+        "cold_ttr_p99_s": cold["ttr_p99_s"],
+        "warm_ttr_p50_s": warm["ttr_p50_s"],
+        "warm_ttr_p99_s": warm_p99,
+        # Denominator floored at 1 s so an all-warm run (p99 = 0.0)
+        # stays finite/JSON-plain; the guard only needs a lower bound.
+        "p99_improvement": round(
+            cold["ttr_p99_s"] / max(warm_p99, 1.0), 3),
+        "cold_rejection_rate": cold["rejection_rate"],
+        "warm_rejection_rate": warm["rejection_rate"],
+        "pool_hit_ratio": warm["pool"]["hit_ratio"],
+        "cold_wall_s": round(cold_wall, 4),
+        "warm_wall_s": round(warm_wall, 4),
+        "wall_s": round(cold_wall + warm_wall, 4),
+        "events": cold_events + warm_events,
+    }
+
+
 def run_scales(scales: List[int],
                kernel_scales: Optional[List[int]] = None,
                *, verbose: bool = True,
@@ -587,7 +672,35 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--federation-scales", type=int, nargs="+",
                         default=list(FEDERATION_SCALES),
                         help="federation-family total fleet sizes")
+    parser.add_argument("--serve", action="store_true",
+                        help="measure the request-tier warm-pool benefit "
+                             "(cold vs warm time-to-ready) instead of the "
+                             "scenario families")
+    parser.add_argument("--serve-scales", type=int, nargs="+",
+                        default=list(SERVE_SCALES),
+                        help="serve-family fleet sizes (PNAs)")
     args = parser.parse_args(argv)
+    if args.serve:
+        out = args.out if args.out != "BENCH_event_tier.json" \
+            else "BENCH_serve.json"
+        serve: Dict[str, dict] = {}
+        for n in args.serve_scales:
+            metrics = _maybe_profiled(args.profile, run_serve_scenario,
+                                      int(n))
+            serve[str(n)] = metrics
+            print(f"  serve n={n:>5}  "
+                  f"cold p99 {metrics['cold_ttr_p99_s']:>7.2f}s  "
+                  f"warm p99 {metrics['warm_ttr_p99_s']:>7.2f}s  "
+                  f"improvement {metrics['p99_improvement']:.2f}x  "
+                  f"hit {metrics['pool_hit_ratio']:.2f}  "
+                  f"wall={metrics['wall_s']:.2f}s")
+        if args.profile:
+            print(f"[profiled run: {out} left untouched]")
+        else:
+            write_report(out, {"serve": serve}, args.label,
+                         merge_into=out, benchmark="serve")
+            print(f"[written to {out}]")
+        return 0
     if args.federation:
         out = args.out if args.out != "BENCH_event_tier.json" \
             else "BENCH_federation.json"

@@ -1,0 +1,42 @@
+"""Request-driven service tier over the OddCI core.
+
+The paper's Provider is the *front door* of the infrastructure
+(Section 3.1): clients ask it for instances, it answers within its
+capacity.  This package models that front door under load:
+
+* :mod:`repro.serve.arrivals` — open-loop traffic (Poisson, diurnal,
+  flash-crowd) from N tenants;
+* :mod:`repro.serve.gateway` — token-bucket admission control and
+  per-tenant quotas with typed rejections;
+* :mod:`repro.serve.pool` — warm-standby instance pooling that
+  amortises carousel wakeup latency;
+* :mod:`repro.serve.slo` — p50/p99 time-to-ready, rejection rates,
+  pool hit ratio and tenant fairness;
+* :mod:`repro.serve.service` — :class:`~repro.serve.service.
+  ServiceTier`, wiring the pipeline onto one deployment.
+"""
+
+from repro.serve.arrivals import (
+    ServiceRequest,
+    TrafficSpec,
+    generate_requests,
+)
+from repro.serve.gateway import GatewayConfig, ServiceGateway, TokenBucket
+from repro.serve.pool import InstancePool, PoolConfig
+from repro.serve.service import ServiceTier
+from repro.serve.slo import SLORecorder, jain_fairness, percentile
+
+__all__ = [
+    "TrafficSpec",
+    "ServiceRequest",
+    "generate_requests",
+    "GatewayConfig",
+    "TokenBucket",
+    "ServiceGateway",
+    "PoolConfig",
+    "InstancePool",
+    "SLORecorder",
+    "jain_fairness",
+    "percentile",
+    "ServiceTier",
+]

@@ -1,0 +1,205 @@
+"""Open-loop request traffic for the service tier.
+
+The request tier drives the Provider with *open-loop* traffic: client
+requests arrive on a schedule that does not react to how the system is
+doing, which is what exposes capacity knees and admission behaviour
+(closed-loop clients would politely slow down and hide both).
+
+:class:`TrafficSpec` describes one traffic mix; :func:`generate_requests`
+materialises it into a deterministic list of :class:`ServiceRequest`.
+Three arrival patterns:
+
+``poisson``
+    Homogeneous Poisson process at ``rate_rps``.
+``diurnal``
+    Non-homogeneous Poisson with a cosine day/night cycle:
+    ``rate(t) = rate_rps * (1 - depth * (0.5 + 0.5 cos(2 pi t / period)))``
+    — trough at ``t = 0``, peak at mid-period.
+``flash``
+    Homogeneous base rate with a flash crowd: the rate jumps to
+    ``rate_rps * flash_multiplier`` on ``[flash_at_s, flash_at_s +
+    flash_duration_s)`` (non-homogeneous, thinning-sampled).
+
+Determinism
+-----------
+Every random quantity — arrival instants (:func:`repro.sim.rng.
+poisson_arrival_times`), tenant, kind, hold time — is drawn from the
+*one* generator passed in, strictly in arrival order.  The schedule is
+therefore a pure function of ``(spec, stream state)`` and byte-parity
+across ``--jobs`` follows from the runner's per-point seeding.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PATTERNS", "TrafficSpec", "ServiceRequest", "generate_requests"]
+
+#: Arrival patterns the generator understands.
+PATTERNS = ("poisson", "diurnal", "flash")
+
+#: Request kinds, in the order the kind draw indexes them.
+KINDS = ("create", "resize", "destroy")
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """One open-loop traffic mix.
+
+    Attributes
+    ----------
+    pattern:
+        One of :data:`PATTERNS`.
+    rate_rps:
+        Mean arrival rate (requests/second).  For ``diurnal`` this is
+        the *peak* rate; for ``flash`` the base rate outside the crowd.
+    horizon_s:
+        Generate arrivals on ``[0, horizon_s)``.
+    n_tenants:
+        Tenants ``t0 .. t{n-1}``; each request picks one uniformly.
+    create_fraction / resize_fraction / destroy_fraction:
+        Request-kind mix; must sum to 1.
+    target_size:
+        Nodes each create (or resize) request asks for.
+    hold_s_mean:
+        Mean instance hold time (exponential) before the client
+        releases a created instance.
+    diurnal_period_s / diurnal_depth:
+        Cycle length and modulation depth (0 = flat, 1 = silent trough)
+        for ``pattern="diurnal"``.
+    flash_at_s / flash_duration_s / flash_multiplier:
+        Flash-crowd window and its rate multiplier for
+        ``pattern="flash"``.
+    """
+
+    pattern: str = "poisson"
+    rate_rps: float = 0.1
+    horizon_s: float = 600.0
+    n_tenants: int = 4
+    create_fraction: float = 0.8
+    resize_fraction: float = 0.1
+    destroy_fraction: float = 0.1
+    target_size: int = 4
+    hold_s_mean: float = 60.0
+    diurnal_period_s: float = 600.0
+    diurnal_depth: float = 0.8
+    flash_at_s: float = 200.0
+    flash_duration_s: float = 60.0
+    flash_multiplier: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.pattern not in PATTERNS:
+            raise ConfigurationError(
+                f"unknown pattern {self.pattern!r}; "
+                f"choose one of {PATTERNS}")
+        if self.rate_rps < 0:
+            raise ConfigurationError(
+                f"rate_rps must be >= 0, got {self.rate_rps}")
+        if self.horizon_s < 0:
+            raise ConfigurationError(
+                f"horizon_s must be >= 0, got {self.horizon_s}")
+        if self.n_tenants <= 0:
+            raise ConfigurationError(
+                f"n_tenants must be > 0, got {self.n_tenants}")
+        mix = (self.create_fraction, self.resize_fraction,
+               self.destroy_fraction)
+        if any(f < 0 for f in mix) or abs(sum(mix) - 1.0) > 1e-9:
+            raise ConfigurationError(
+                f"request-kind fractions must be >= 0 and sum to 1, "
+                f"got {mix}")
+        if self.target_size <= 0:
+            raise ConfigurationError(
+                f"target_size must be > 0, got {self.target_size}")
+        if self.hold_s_mean <= 0:
+            raise ConfigurationError(
+                f"hold_s_mean must be > 0, got {self.hold_s_mean}")
+        if self.pattern == "diurnal":
+            if self.diurnal_period_s <= 0:
+                raise ConfigurationError("diurnal_period_s must be > 0")
+            if not 0.0 <= self.diurnal_depth <= 1.0:
+                raise ConfigurationError(
+                    "diurnal_depth must be in [0, 1]")
+        if self.pattern == "flash":
+            if self.flash_duration_s < 0 or self.flash_at_s < 0:
+                raise ConfigurationError(
+                    "flash window bounds must be >= 0")
+            if self.flash_multiplier < 1.0:
+                raise ConfigurationError(
+                    "flash_multiplier must be >= 1")
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One client request, fully determined at generation time."""
+
+    request_id: str
+    arrival_s: float
+    tenant: str
+    kind: str           # "create" | "resize" | "destroy"
+    target_size: int
+    hold_s: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigurationError(
+                f"unknown request kind {self.kind!r}; one of {KINDS}")
+
+
+def _rate_fn(spec: TrafficSpec):
+    """(rate-or-callable, rate_max) for :func:`poisson_arrival_times`."""
+    if spec.pattern == "poisson":
+        return spec.rate_rps, None
+    if spec.pattern == "diurnal":
+        base, depth = spec.rate_rps, spec.diurnal_depth
+        omega = 2.0 * math.pi / spec.diurnal_period_s
+
+        def diurnal(t: float) -> float:
+            return base * (1.0 - depth * (0.5 + 0.5 * math.cos(omega * t)))
+
+        return diurnal, base
+    # flash crowd
+    base = spec.rate_rps
+    lo, hi = spec.flash_at_s, spec.flash_at_s + spec.flash_duration_s
+    mult = spec.flash_multiplier
+
+    def flash(t: float) -> float:
+        return base * mult if lo <= t < hi else base
+
+    return flash, base * mult
+
+
+def generate_requests(spec: TrafficSpec,
+                      rng: np.random.Generator) -> List[ServiceRequest]:
+    """Materialise ``spec`` into requests, in arrival order.
+
+    All draws (arrival instants, then per-request tenant / kind / hold)
+    come from ``rng`` in a fixed order, so the result is a pure function
+    of the stream state.
+    """
+    rate, rate_max = _rate_fn(spec)
+    from repro.sim.rng import poisson_arrival_times
+
+    times = poisson_arrival_times(rng, rate, spec.horizon_s,
+                                  rate_max=rate_max)
+    cum_resize = spec.create_fraction + spec.resize_fraction
+    requests: List[ServiceRequest] = []
+    for i, t in enumerate(times):
+        tenant = f"t{int(rng.integers(spec.n_tenants))}"
+        draw = float(rng.random())
+        if draw < spec.create_fraction:
+            kind = "create"
+        elif draw < cum_resize:
+            kind = "resize"
+        else:
+            kind = "destroy"
+        hold = float(rng.exponential(spec.hold_s_mean))
+        requests.append(ServiceRequest(
+            request_id=f"req-{i}", arrival_s=float(t), tenant=tenant,
+            kind=kind, target_size=spec.target_size, hold_s=hold))
+    return requests

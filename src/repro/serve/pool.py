@@ -1,0 +1,274 @@
+"""Warm-standby instance pooling for the service tier.
+
+Cold provisioning pays the full carousel price: wakeup broadcast, image
+staging at the broadcast rate, then heartbeat consolidation before the
+census reflects the joined nodes.  The pool amortises that latency by
+keeping ``warm_target`` pre-built instances parked at readiness:
+
+* :meth:`InstancePool.prewarm` builds the initial fleet before traffic
+  starts (tickets park their instances as they mature);
+* :meth:`InstancePool.acquire` hands a parked instance out as an
+  *already-settled* ticket (time-to-ready 0.0 — the defining benefit),
+  falling back to a cold ``request_instance_async`` on a miss;
+* :meth:`InstancePool.release` parks a returned instance (FIFO, up to
+  ``max_warm``) instead of dismantling it;
+* a background refill loop rebuilds the pool toward ``warm_target``
+  every ``refill_interval_s`` and reclaims parked surplus idle longer
+  than ``idle_reclaim_s``.
+
+A parked instance is *validated* at acquire time: after a controller
+crash the census is wiped, so a parked record can silently read size 0
+— the pool discards it (best-effort dismantle) and treats the acquire
+as a miss rather than handing out a husk.  The refill loop likewise
+swallows :class:`~repro.errors.ControllerDownError` and retries on the
+next tick, so a crashed control plane degrades the hit ratio instead
+of wedging the tier.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro.errors import (
+    ConfigurationError,
+    ControllerDownError,
+    InstanceError,
+)
+from repro.core.instance import InstanceRecord, InstanceSpec, InstanceStatus
+from repro.core.provider import Provider, ProvisioningTicket, ready_size_for
+from repro.sim.core import Simulator
+from repro.telemetry import trace
+
+__all__ = ["PoolConfig", "InstancePool"]
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Warm-pool sizing and lifecycle knobs.
+
+    ``warm_target=0`` disables pooling entirely (every acquire is a
+    cold provision, every release a dismantle) — the cold-start
+    baseline the capacity experiments compare against.
+    """
+
+    warm_target: int = 0
+    max_warm: Optional[int] = None      # park cap; None = warm_target
+    standby_size: int = 4               # target_size of prewarmed fleets
+    refill_interval_s: float = 30.0
+    idle_reclaim_s: float = 0.0         # 0 = never reclaim surplus
+    provision_timeout_s: float = 120.0
+    poll_interval_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.warm_target < 0:
+            raise ConfigurationError(
+                f"warm_target must be >= 0, got {self.warm_target}")
+        if self.max_warm is not None and self.max_warm < self.warm_target:
+            raise ConfigurationError(
+                "max_warm must be >= warm_target when set")
+        if self.standby_size <= 0:
+            raise ConfigurationError(
+                f"standby_size must be > 0, got {self.standby_size}")
+        if self.refill_interval_s <= 0:
+            raise ConfigurationError("refill_interval_s must be > 0")
+        if self.idle_reclaim_s < 0:
+            raise ConfigurationError("idle_reclaim_s must be >= 0")
+        if self.provision_timeout_s <= 0:
+            raise ConfigurationError("provision_timeout_s must be > 0")
+        if self.poll_interval_s <= 0:
+            raise ConfigurationError("poll_interval_s must be > 0")
+
+    @property
+    def park_cap(self) -> int:
+        return self.warm_target if self.max_warm is None else self.max_warm
+
+
+class InstancePool:
+    """FIFO warm-standby pool over a :class:`Provider`."""
+
+    def __init__(self, sim: Simulator, provider: Provider,
+                 config: PoolConfig,
+                 make_spec: Callable[[int], InstanceSpec]) -> None:
+        self.sim = sim
+        self.provider = provider
+        self.config = config
+        self.make_spec = make_spec
+        #: (parked_at, record), oldest first.
+        self._parked: Deque[Tuple[float, InstanceRecord]] = deque()
+        #: tickets still filling the pool (prewarm / refill).
+        self._filling: List[ProvisioningTicket] = []
+        self._stopped = False
+        self.hits = 0
+        self.misses = 0
+        self.prewarmed = 0
+        self.reclaimed = 0
+        self.discarded = 0
+        self._trace = trace.channel("serve")
+
+    # -- inspection ------------------------------------------------------
+    @property
+    def parked(self) -> int:
+        return len(self._parked)
+
+    @property
+    def filling(self) -> int:
+        return len(self._filling)
+
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> None:
+        """Prewarm to ``warm_target`` and start the refill loop."""
+        if self.config.warm_target <= 0:
+            return
+        self._fill(self.config.warm_target)
+        self.sim.call_at(self.sim.now + self.config.refill_interval_s,
+                         self._refill_tick)
+
+    def stop(self) -> None:
+        """Stop refilling; stale ticks and tickets go quiet."""
+        self._stopped = True
+
+    def _fill(self, n: int) -> None:
+        spec = self.make_spec(self.config.standby_size)
+        for _ in range(n):
+            try:
+                ticket = self.provider.request_instance_async(
+                    spec, tenant="pool", request_id="warm",
+                    poll_interval_s=self.config.poll_interval_s,
+                    timeout_s=self.config.provision_timeout_s)
+            except ControllerDownError:
+                return  # retry on the next refill tick
+            self._filling.append(ticket)
+            ticket.event.add_callback(
+                lambda ev, t=ticket: self._on_warm_ready(t, ev))
+
+    def _on_warm_ready(self, ticket: ProvisioningTicket, event) -> None:
+        if ticket in self._filling:
+            self._filling.remove(ticket)
+        if not event.ok:
+            # Timed-out prewarm: tear the husk down, refill retries.
+            self.provider.cancel_request(ticket.instance_id)
+            return
+        if self._stopped or len(self._parked) >= self.config.park_cap:
+            self.provider.cancel_request(ticket.instance_id)
+            return
+        self.prewarmed += 1
+        self._parked.append((self.sim.now, ticket.record))
+        t = self._trace
+        if t is not None:
+            t.emit(self.sim.now, "warm_parked",
+                   instance=ticket.record.instance_id,
+                   parked=len(self._parked))
+
+    def _refill_tick(self) -> None:
+        if self._stopped:
+            return
+        self._reclaim_idle()
+        deficit = (self.config.warm_target - len(self._parked)
+                   - len(self._filling))
+        if deficit > 0:
+            self._fill(deficit)
+        self.sim.call_at(self.sim.now + self.config.refill_interval_s,
+                         self._refill_tick)
+
+    def _reclaim_idle(self) -> None:
+        if not self.config.idle_reclaim_s:
+            return
+        cutoff = self.sim.now - self.config.idle_reclaim_s
+        while (len(self._parked) > self.config.warm_target
+               and self._parked[0][0] <= cutoff):
+            _at, record = self._parked.popleft()
+            self.reclaimed += 1
+            self.provider.cancel_request(record.instance_id)
+
+    # -- acquire / release ----------------------------------------------
+    def _valid(self, record: InstanceRecord, needed: int) -> bool:
+        return (record.status in (InstanceStatus.ACTIVE,
+                                  InstanceStatus.PROVISIONING,
+                                  InstanceStatus.DEGRADED)
+                and record.size >= needed)
+
+    def acquire(self, target_size: int, *, tenant: str = "",
+                request_id: str = ""
+                ) -> Tuple[ProvisioningTicket, bool]:
+        """An instance of ``target_size``, warm when possible.
+
+        Returns ``(ticket, warm)``.  A warm hit's ticket settles at the
+        current instant with time-to-ready 0.0 and the parked record
+        attached (resized toward ``target_size`` when it differs from
+        the standby size).  A miss is a cold
+        :meth:`Provider.request_instance_async` — which may raise
+        :class:`ControllerDownError`; the caller classifies that as a
+        rejection.
+        """
+        needed = ready_size_for(self.make_spec(target_size))
+        while self._parked:
+            _at, record = self._parked.popleft()
+            if self._valid(record, needed):
+                self.hits += 1
+                if record.spec.target_size != target_size:
+                    try:
+                        self.provider.resize(record.instance_id,
+                                             target_size)
+                    except (InstanceError, ControllerDownError):
+                        pass  # serve at standby size; still ready
+                t = self._trace
+                if t is not None:
+                    t.emit(self.sim.now, "pool_hit", request=request_id,
+                           instance=record.instance_id,
+                           parked=len(self._parked))
+                return ProvisioningTicket(
+                    self.sim, ready_size=needed,
+                    size_fn=lambda r=record: r.size,
+                    tenant=tenant, request_id=request_id,
+                    poll_interval_s=self.config.poll_interval_s,
+                    record=record), True
+            # Husk (crashed census, dismantled, shrunk): discard.
+            self.discarded += 1
+            self.provider.cancel_request(record.instance_id)
+        self.misses += 1
+        t = self._trace
+        if t is not None:
+            t.emit(self.sim.now, "pool_miss", request=request_id)
+        return self.provider.request_instance_async(
+            self.make_spec(target_size), tenant=tenant,
+            request_id=request_id,
+            poll_interval_s=self.config.poll_interval_s,
+            timeout_s=self.config.provision_timeout_s), False
+
+    def release(self, record: InstanceRecord) -> None:
+        """Return an instance: park it warm, or dismantle it.
+
+        Parks only healthy records up to the park cap; everything else
+        is released through the Provider (best-effort on fault paths).
+        """
+        if (not self._stopped
+                and len(self._parked) < self.config.park_cap
+                and self._valid(record, 1)):
+            self._parked.append((self.sim.now, record))
+            t = self._trace
+            if t is not None:
+                t.emit(self.sim.now, "parked",
+                       instance=record.instance_id,
+                       parked=len(self._parked))
+            return
+        self.provider.cancel_request(record.instance_id)
+
+    def drain(self) -> None:
+        """Dismantle every parked instance (end of run)."""
+        while self._parked:
+            _at, record = self._parked.popleft()
+            self.provider.cancel_request(record.instance_id)
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits, "misses": self.misses,
+            "hit_ratio": round(self.hit_ratio(), 6),
+            "prewarmed": self.prewarmed, "reclaimed": self.reclaimed,
+            "discarded": self.discarded, "parked": len(self._parked),
+        }

@@ -18,7 +18,7 @@ from typing import Optional
 import numpy as np
 
 __all__ = ["derive_seed", "derive_generator", "stream_entropy",
-           "spawn_seeds"]
+           "spawn_seeds", "poisson_arrival_times"]
 
 
 def stream_entropy(name: str) -> int:
@@ -48,6 +48,50 @@ def derive_seed(master: Optional[int], name: str) -> np.random.SeedSequence:
 def derive_generator(master: Optional[int], name: str) -> np.random.Generator:
     """Return a PCG64 generator for the named stream."""
     return np.random.Generator(np.random.PCG64(derive_seed(master, name)))
+
+
+def poisson_arrival_times(rng: np.random.Generator, rate,
+                          horizon_s: float, *,
+                          rate_max: Optional[float] = None) -> list:
+    """Arrival instants of an open-loop Poisson process on ``[0, horizon)``.
+
+    ``rate`` is either a constant rate (events/second) or a callable
+    ``rate(t)`` for a non-homogeneous process, in which case ``rate_max``
+    must bound it from above and arrivals are drawn by Lewis-Shedler
+    thinning.  Every draw comes from ``rng`` in arrival order, so the
+    schedule is a pure function of the stream state — the property the
+    service tier's ``--jobs`` byte-parity rides on.
+
+    A constant rate skips the thinning draw entirely (one exponential
+    per arrival), so homogeneous streams stay cheap and their RNG
+    consumption does not depend on how the rate function is phrased.
+    """
+    if horizon_s < 0:
+        raise ValueError(f"horizon_s must be >= 0, got {horizon_s}")
+    constant = not callable(rate)
+    peak = float(rate) if constant else (
+        float(rate_max) if rate_max is not None else 0.0)
+    if constant and peak == 0.0:
+        return []
+    if peak <= 0:
+        raise ValueError(
+            "rate must be > 0 (and callable rates need rate_max > 0), "
+            f"got rate={rate!r} rate_max={rate_max!r}")
+    times = []
+    t = 0.0
+    while True:
+        t += rng.exponential(1.0 / peak)
+        if t >= horizon_s:
+            return times
+        if constant:
+            times.append(t)
+            continue
+        intensity = rate(t)
+        if intensity > peak:
+            raise ValueError(
+                f"rate({t:.3f})={intensity} exceeds rate_max={peak}")
+        if rng.random() * peak < intensity:
+            times.append(t)
 
 
 def spawn_seeds(master: Optional[int], name: str, n: int) -> list:

@@ -20,6 +20,8 @@ pna        PNA state transitions (accept/idle/online/offline)
 backend    Backend task lifecycle (dispatch/complete/requeue)
 fault      fault-plan injections and restores, recovery milestones
            (checkpoint/restore, MTTR, deferred control traffic)
+serve      service-tier request lifecycle (arrival, admission,
+           rejection, pool hit/miss, ready, completion)
 runner     experiment-runner markers (run/point boundaries)
 ========== ====================================================
 
@@ -89,13 +91,13 @@ __all__ = [
 #: Every known trace category, in canonical order.
 CATEGORIES: Tuple[str, ...] = (
     "kernel", "net", "carousel", "control", "pna", "backend", "fault",
-    "runner")
+    "serve", "runner")
 
 #: Enabled by a bare ``--trace``: everything except the per-dispatch
 #: ``kernel`` firehose and the per-message ``net`` drop log (opt in
 #: with ``--trace=all`` or an explicit list).
 DEFAULT_CATEGORIES: Tuple[str, ...] = (
-    "carousel", "control", "pna", "backend", "fault", "runner")
+    "carousel", "control", "pna", "backend", "fault", "serve", "runner")
 
 #: One trace event: (sim_time, category, name, fields-or-None).
 TraceEvent = Tuple[float, str, str, Optional[Dict[str, Any]]]

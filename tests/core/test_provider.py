@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import InstanceSpec, InstanceStatus, OddCISystem
+from repro.core.provider import ready_size_for
 from repro.errors import InstanceError, ProvisioningError
 from repro.workloads import uniform_bag
 
@@ -62,6 +63,72 @@ def test_status_unknown_instance_is_provisioning_error():
     system = ready_system()
     with pytest.raises(ProvisioningError):
         system.provider.status("no-such-instance")
+
+
+# -- async provisioning tickets ----------------------------------------------
+
+def bare_spec(target=4, tolerance=0.25):
+    return InstanceSpec(target_size=target, image_name="bare",
+                        image_bits=1e6, heartbeat_interval_s=10.0,
+                        size_tolerance=tolerance)
+
+
+def test_async_request_settles_at_tolerance_band():
+    system = ready_system()
+    spec = bare_spec()
+    ticket = system.provider.request_instance_async(
+        spec, tenant="t0", request_id="r0", timeout_s=300.0)
+    assert not ticket.done
+    system.sim.run(until=120.0)
+    assert ticket.event.ok
+    assert ticket.time_to_ready > 0.0
+    assert ticket.record.size >= ready_size_for(spec)
+    # The request context rides on the ticket for SLO classification.
+    assert ticket.tenant == "t0"
+    assert ticket.request_id == "r0"
+
+
+def test_async_request_times_out_with_structured_error():
+    # 12 PNAs can never satisfy target 64 within tolerance.
+    system = ready_system(n_pnas=12)
+    ticket = system.provider.request_instance_async(
+        bare_spec(target=64), tenant="t1", request_id="r1",
+        timeout_s=60.0)
+    system.sim.run(until=120.0)
+    assert ticket.done and not ticket.event.ok
+    err = ticket.event.value
+    assert isinstance(err, ProvisioningError)
+    assert err.reason == "timeout"
+    assert err.tenant == "t1"
+    assert err.request_id == "r1"
+
+
+def test_cancel_request_evicts_and_settles_ticket():
+    system = ready_system()
+    ticket = system.provider.request_instance_async(
+        bare_spec(), request_id="r2", timeout_s=300.0)
+    system.sim.run(until=5.0)  # still provisioning
+    assert system.provider.cancel_request(ticket.instance_id, ticket)
+    assert ticket.done and not ticket.event.ok
+    assert ticket.event.value.reason == "cancelled"
+    # Eviction is unconditional: no submission entry, no status.
+    assert ticket.instance_id not in system.provider._submissions
+    # Cancelling again is a no-op, not an error.
+    assert not system.provider.cancel_request(ticket.instance_id, ticket)
+    # The stale poll loop must go quiet, not resurrect the ticket.
+    system.sim.run(until=120.0)
+    assert not ticket.event.ok
+
+
+def test_ticket_cancel_is_idempotent_and_loses_races_to_success():
+    system = ready_system()
+    ticket = system.provider.request_instance_async(
+        bare_spec(), timeout_s=300.0)
+    system.sim.run(until=120.0)
+    assert ticket.event.ok
+    # Already settled: cancel reports False and the event stays ok.
+    assert not ticket.cancel()
+    assert ticket.event.ok
 
 
 # -- submission bookkeeping ---------------------------------------------------

@@ -14,12 +14,12 @@ import pytest
 
 from repro.runner import ArtifactStore, Runner
 
-SCENARIOS = ("fig6", "a3")
+SCENARIOS = ("fig6", "a3", "service_sweep")
 
 
-def _artifact_bytes(tmp_path, name, jobs):
+def _artifact_bytes(tmp_path, name, jobs, trace=None):
     root = tmp_path / f"jobs{jobs}"
-    runner = Runner(jobs=jobs, seed=7, smoke=True,
+    runner = Runner(jobs=jobs, seed=7, smoke=True, trace=trace,
                     store=ArtifactStore(root))
     result = runner.run(name)
     directory = root / name
@@ -58,6 +58,29 @@ def test_task_paths_agree_byte_for_byte(tmp_path, name, monkeypatch):
         tmp_path / "cohort-jobs", name, 2)
     assert par_records == ref_records
     assert par_rendered == ref_rendered
+
+
+@pytest.mark.parametrize("jobs", (2, 4))
+def test_service_sweep_trace_and_metrics_are_jobs_invariant(
+        tmp_path, jobs):
+    """A traced service_sweep run persists byte-identical trace.jsonl
+    and metrics.json for any ``--jobs`` — the ``serve`` category's
+    request-lifecycle events ride the same per-point reset contract as
+    records."""
+    def traced_bytes(n_jobs):
+        _res, records, _rendered = _artifact_bytes(
+            tmp_path, "service_sweep", n_jobs, trace=True)
+        directory = tmp_path / f"jobs{n_jobs}" / "service_sweep"
+        return (records,
+                (directory / "trace.jsonl").read_bytes(),
+                (directory / "metrics.json").read_bytes())
+
+    serial_records, serial_trace, serial_metrics = traced_bytes(1)
+    par_records, par_trace, par_metrics = traced_bytes(jobs)
+    assert b'"serve"' in serial_trace  # the new category really fires
+    assert par_records == serial_records
+    assert par_trace == serial_trace
+    assert par_metrics == serial_metrics
 
 
 @pytest.mark.experiments

@@ -1,0 +1,101 @@
+"""Open-loop traffic generator: validation, determinism, shape."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import TrafficSpec, generate_requests
+from repro.serve.arrivals import KINDS
+
+
+def rng(seed=0):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+# -- validation ---------------------------------------------------------------
+
+@pytest.mark.parametrize("kwargs", [
+    {"pattern": "bursty"},
+    {"rate_rps": -1.0},
+    {"n_tenants": 0},
+    {"create_fraction": 0.5, "resize_fraction": 0.1,
+     "destroy_fraction": 0.1},          # sums to 0.7
+    {"create_fraction": 1.2, "resize_fraction": -0.1,
+     "destroy_fraction": -0.1},         # negative fractions
+    {"target_size": 0},
+    {"hold_s_mean": 0.0},
+    {"pattern": "diurnal", "diurnal_depth": 1.5},
+    {"pattern": "diurnal", "diurnal_period_s": 0.0},
+    {"pattern": "flash", "flash_multiplier": 0.5},
+])
+def test_spec_validation_rejects(kwargs):
+    with pytest.raises(ConfigurationError):
+        TrafficSpec(**kwargs)
+
+
+def test_unknown_request_kind_rejected():
+    from repro.serve import ServiceRequest
+    with pytest.raises(ConfigurationError):
+        ServiceRequest(request_id="r", arrival_s=0.0, tenant="t0",
+                       kind="teleport", target_size=4, hold_s=1.0)
+
+
+# -- determinism --------------------------------------------------------------
+
+@pytest.mark.parametrize("pattern", ("poisson", "diurnal", "flash"))
+def test_same_stream_same_schedule(pattern):
+    spec = TrafficSpec(pattern=pattern, rate_rps=0.2, horizon_s=400.0)
+    assert generate_requests(spec, rng(7)) == generate_requests(spec, rng(7))
+    # A different seed really changes the draw.
+    assert generate_requests(spec, rng(7)) != generate_requests(spec, rng(8))
+
+
+# -- shape --------------------------------------------------------------------
+
+def test_requests_are_ordered_within_horizon_with_valid_fields():
+    spec = TrafficSpec(rate_rps=0.5, horizon_s=300.0, n_tenants=3)
+    requests = generate_requests(spec, rng(1))
+    assert requests, "0.5 rps over 300 s must produce arrivals"
+    times = [r.arrival_s for r in requests]
+    assert times == sorted(times)
+    assert all(0.0 <= t < spec.horizon_s for t in times)
+    assert [r.request_id for r in requests] == [
+        f"req-{i}" for i in range(len(requests))]
+    assert {r.tenant for r in requests} <= {"t0", "t1", "t2"}
+    assert all(r.kind in KINDS for r in requests)
+    assert all(r.hold_s >= 0.0 for r in requests)
+
+
+def test_kind_mix_follows_fractions():
+    spec = TrafficSpec(rate_rps=2.0, horizon_s=2000.0,
+                       create_fraction=0.6, resize_fraction=0.3,
+                       destroy_fraction=0.1)
+    requests = generate_requests(spec, rng(3))
+    n = len(requests)
+    creates = sum(r.kind == "create" for r in requests) / n
+    resizes = sum(r.kind == "resize" for r in requests) / n
+    assert abs(creates - 0.6) < 0.05
+    assert abs(resizes - 0.3) < 0.05
+
+
+def test_flash_crowd_concentrates_arrivals_in_window():
+    spec = TrafficSpec(pattern="flash", rate_rps=0.2, horizon_s=600.0,
+                       flash_at_s=200.0, flash_duration_s=100.0,
+                       flash_multiplier=6.0)
+    requests = generate_requests(spec, rng(5))
+    window = [r for r in requests if 200.0 <= r.arrival_s < 300.0]
+    # Window density ~6x the base-rate density elsewhere.
+    in_rate = len(window) / 100.0
+    out_rate = (len(requests) - len(window)) / 500.0
+    assert in_rate > 2.0 * out_rate
+
+
+def test_diurnal_trough_is_quieter_than_peak():
+    spec = TrafficSpec(pattern="diurnal", rate_rps=1.0, horizon_s=600.0,
+                       diurnal_period_s=600.0, diurnal_depth=0.9)
+    requests = generate_requests(spec, rng(11))
+    # Trough at t=0 (and t=600), peak at mid-period t=300.
+    trough = sum(1 for r in requests
+                 if r.arrival_s < 100.0 or r.arrival_s >= 500.0)
+    peak = sum(1 for r in requests if 250.0 <= r.arrival_s < 350.0)
+    assert peak > trough

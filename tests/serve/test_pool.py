@@ -1,0 +1,159 @@
+"""Warm-standby pool: prewarm, hit/miss, husk discard, refill, reclaim."""
+
+import pytest
+
+from repro.core import InstanceSpec, OddCISystem
+from repro.errors import ConfigurationError
+from repro.serve import InstancePool, PoolConfig
+
+
+def make_spec(target_size):
+    return InstanceSpec(target_size=target_size, image_name="pool-test",
+                        image_bits=1e6, heartbeat_interval_s=10.0,
+                        backend_id="serve")
+
+
+def pooled_system(seed=0, n_pnas=12, **cfg):
+    system = OddCISystem(seed=seed, maintenance_interval_s=20.0)
+    system.add_pnas(n_pnas, heartbeat_interval_s=10.0,
+                    dve_poll_interval_s=5.0)
+    config = PoolConfig(**{"standby_size": 4,
+                           "provision_timeout_s": 120.0, **cfg})
+    pool = InstancePool(system.sim, system.provider, config, make_spec)
+    return system, pool
+
+
+# -- config -------------------------------------------------------------------
+
+@pytest.mark.parametrize("kwargs", [
+    {"warm_target": -1},
+    {"warm_target": 3, "max_warm": 2},
+    {"standby_size": 0},
+    {"refill_interval_s": 0.0},
+    {"provision_timeout_s": 0.0},
+])
+def test_pool_config_validation(kwargs):
+    with pytest.raises(ConfigurationError):
+        PoolConfig(**kwargs)
+
+
+def test_warm_target_zero_is_cold_only():
+    system, pool = pooled_system(warm_target=0)
+    pool.start()
+    system.sim.run(until=120.0)
+    assert pool.parked == 0
+    ticket, warm = pool.acquire(4, tenant="t0", request_id="r0")
+    assert not warm
+    assert pool.misses == 1
+    system.sim.run(until=240.0)
+    assert ticket.event.ok
+    assert ticket.time_to_ready > 0.0
+
+
+# -- prewarm / hit ------------------------------------------------------------
+
+def test_prewarm_parks_and_acquire_hits_with_zero_ttr():
+    system, pool = pooled_system(warm_target=2)
+    pool.start()
+    system.sim.run(until=120.0)
+    assert pool.parked == 2
+    assert pool.prewarmed == 2
+    ticket, warm = pool.acquire(4, tenant="t0", request_id="r0")
+    assert warm
+    assert pool.hits == 1 and pool.misses == 0
+    # A warm ticket settles at the current instant: ttr == 0.
+    system.sim.run(until=system.sim.now + 1.0)
+    assert ticket.event.ok
+    assert ticket.time_to_ready == 0.0
+    assert ticket.record.size >= 1
+
+
+def test_acquire_beyond_parked_falls_back_to_cold():
+    system, pool = pooled_system(warm_target=1)
+    pool.start()
+    system.sim.run(until=120.0)
+    _t0, warm0 = pool.acquire(4, tenant="t0", request_id="r0")
+    _t1, warm1 = pool.acquire(4, tenant="t0", request_id="r1")
+    assert warm0 and not warm1
+    assert pool.stats()["hit_ratio"] == 0.5
+
+
+def test_release_parks_up_to_cap_then_dismantles():
+    system, pool = pooled_system(warm_target=1, max_warm=1)
+    pool.start()
+    system.sim.run(until=120.0)
+    ticket, warm = pool.acquire(4, tenant="t0", request_id="r0")
+    assert warm and pool.parked == 0
+    cold, _ = pool.acquire(4, tenant="t0", request_id="r1")
+    system.sim.run(until=240.0)
+    assert cold.event.ok
+    pool.release(ticket.record)          # parks (cap 1)
+    assert pool.parked == 1
+    pool.release(cold.record)            # over cap: dismantled
+    assert pool.parked == 1
+    assert cold.record.status.value in ("dismantling", "destroyed")
+
+
+def test_refill_restores_warm_target_after_acquires():
+    # Enough PNAs to host the two held instances AND a full re-fill.
+    system, pool = pooled_system(n_pnas=24, warm_target=2,
+                                 refill_interval_s=20.0)
+    pool.start()
+    system.sim.run(until=120.0)
+    pool.acquire(4, tenant="t0", request_id="r0")
+    pool.acquire(4, tenant="t0", request_id="r1")
+    assert pool.parked == 0
+    system.sim.run(until=system.sim.now + 200.0)
+    assert pool.parked == 2
+
+
+def test_idle_reclaim_shrinks_surplus_only():
+    system, pool = pooled_system(n_pnas=24, warm_target=1, max_warm=3,
+                                 refill_interval_s=20.0,
+                                 idle_reclaim_s=30.0)
+    pool.start()
+    system.sim.run(until=120.0)
+    # Park two extras above warm_target.
+    t0, _ = pool.acquire(4, tenant="t0", request_id="r0")
+    c1, _ = pool.acquire(4, tenant="t0", request_id="r1")
+    c2, _ = pool.acquire(4, tenant="t0", request_id="r2")
+    system.sim.run(until=240.0)
+    for ticket in (t0, c1, c2):
+        assert ticket.event.ok
+        pool.release(ticket.record)
+    assert pool.parked == 3
+    system.sim.run(until=system.sim.now + 120.0)
+    # Surplus above warm_target reclaimed; the target itself is kept.
+    assert pool.parked == 1
+    assert pool.reclaimed == 2
+
+
+# -- fault interaction --------------------------------------------------------
+
+def test_crashed_census_husks_are_discarded_not_served():
+    system, pool = pooled_system(warm_target=2)
+    pool.start()
+    system.sim.run(until=120.0)
+    assert pool.parked == 2
+    # A crash wipes the census: parked records silently read size 0.
+    system.controller.crash()
+    system.controller.restore()
+    ticket, warm = pool.acquire(4, tenant="t0", request_id="r0")
+    assert not warm, "a husk must not be handed out as a warm hit"
+    assert pool.discarded == 2
+    assert pool.misses == 1
+    # The cold fallback still provisions once heartbeats reconcile.
+    system.sim.run(until=system.sim.now + 200.0)
+    assert ticket.event.ok
+
+
+def test_stop_quiesces_refill_and_drain_dismantles():
+    system, pool = pooled_system(warm_target=2, refill_interval_s=20.0)
+    pool.start()
+    system.sim.run(until=120.0)
+    pool.stop()
+    pool.drain()
+    assert pool.parked == 0
+    before = system.sim.events_executed
+    system.sim.run(until=system.sim.now + 500.0)
+    assert pool.parked == 0, "stopped pool must not refill"

@@ -1,0 +1,67 @@
+"""SLO math and recorder bookkeeping."""
+
+import pytest
+
+from repro.serve import SLORecorder, jain_fairness, percentile
+
+
+def test_percentile_exact_and_empty():
+    assert percentile([], 99) == 0.0
+    samples = [float(i) for i in range(1, 101)]
+    assert percentile(samples, 50) == pytest.approx(50.5)
+    assert percentile(samples, 99) == pytest.approx(99.01)
+    assert percentile([7.0], 99) == 7.0
+
+
+def test_jain_fairness_bounds():
+    assert jain_fairness([]) == 1.0
+    assert jain_fairness([0.0, 0.0]) == 1.0
+    assert jain_fairness([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+    # One tenant takes everything: 1/n.
+    assert jain_fairness([9.0, 0.0, 0.0]) == pytest.approx(1.0 / 3.0)
+    assert 1.0 / 3.0 < jain_fairness([6.0, 2.0, 1.0]) < 1.0
+
+
+def test_recorder_counts_and_summary():
+    slo = SLORecorder()
+    for _ in range(5):
+        slo.note_issued()
+    slo.note_admitted(queue_wait_s=0.0)
+    slo.note_ready(12.0, warm=False)
+    slo.note_completed("t0")
+    slo.note_admitted(queue_wait_s=3.0)
+    slo.note_ready(0.0, warm=True)
+    slo.note_completed("t1")
+    slo.note_noop()
+    slo.note_rejected("queue_full")
+    slo.note_rejected("timeout")
+    out = slo.summary()
+    assert out["issued"] == 5
+    assert out["admitted"] == 2
+    assert out["completed"] == 2
+    assert out["noops"] == 1
+    assert out["rejected"] == {"queue_full": 1, "timeout": 1}
+    assert out["rejected_total"] == 2
+    assert out["rejection_rate"] == pytest.approx(0.4)
+    assert out["lost"] == 0
+    assert out["ttr_p50_s"] == pytest.approx(6.0)
+    assert out["ttr_warm_p50_s"] == 0.0
+    assert out["ttr_cold_p50_s"] == 12.0
+    assert out["fairness"] == pytest.approx(1.0)
+
+
+def test_lost_counts_unsettled_requests():
+    slo = SLORecorder()
+    slo.note_issued()
+    slo.note_issued()
+    slo.note_completed("t0")
+    assert slo.lost == 1
+    assert slo.summary()["lost"] == 1
+
+
+def test_empty_recorder_summary_is_all_zeros():
+    out = SLORecorder().summary()
+    assert out["issued"] == 0
+    assert out["rejection_rate"] == 0.0
+    assert out["ttr_p99_s"] == 0.0
+    assert out["fairness"] == 1.0
