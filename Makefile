@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test experiments bench bench-quick bench-floor trace-demo \
-	faults-smoke federation-smoke serve-smoke
+	faults-smoke federation-smoke serve-smoke certify-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -64,6 +64,17 @@ federation-smoke:
 		tests/faults/test_shard_faults.py tests/core/test_provider.py -q
 	REPRO_FLOOR_SCALE=20000 $(PYTHON) -m pytest \
 		benchmarks/test_federation_floor.py -q --run-perf
+
+# Sabotage-tolerance smoke: the sabotage_sweep scenario through the
+# parallel runner plus the certification/adversary suites on BOTH
+# task paths — cohort engine and the per-PNA process oracle
+# (DESIGN.md §15).
+certify-smoke:
+	$(PYTHON) -m repro sabotage_sweep --smoke --jobs 2
+	$(PYTHON) -m pytest tests/certify tests/faults/test_adversaries.py \
+		tests/faults/test_plan.py tests/faults/test_signature_corruption.py -q
+	REPRO_TASK_PATH=process $(PYTHON) -m pytest tests/certify \
+		tests/faults/test_adversaries.py -q
 
 # Request-driven service tier smoke: both serve scenarios through the
 # parallel runner, the serve unit/fault suites, and the warm-pool perf

@@ -1,0 +1,47 @@
+"""Sabotage tolerance: adversarial PNA models + result certification.
+
+OddCI's nodes are consumer devices outside the operator's trust
+boundary; broadcast signatures protect the *downlink* but nothing
+protects the return path.  This package closes that gap (DESIGN.md
+§15):
+
+* :mod:`~repro.certify.adversary` — Byzantine behaviour profiles
+  (``saboteur``, ``free_rider``, ``straggler``, ``heartbeat_spoof``)
+  that the fault injector attaches to a seeded fraction of PNAs;
+* :mod:`~repro.certify.policy` — :class:`CertifyPolicy`, the
+  audit / static-quorum / adaptive-credibility configuration;
+* :mod:`~repro.certify.ledger` — :class:`CredibilityLedger`,
+  Sarmenta-style per-node credibility scores;
+* :mod:`~repro.certify.certifier` — :class:`ResultCertifier`,
+  redundant dispatch with distinct-PNA pinning, digest quorum voting,
+  spot-check probes and quarantine, riding the Backend's existing
+  lease/backoff machinery.
+
+Everything is deterministic under ``--jobs`` (named RNG streams, CRC
+salts, no wall-clock reads) and instrumented as ``certify.*`` metrics.
+"""
+
+from repro.certify.adversary import (
+    ADVERSARY_KINDS,
+    Adversary,
+    FREE_RIDER_SECONDS,
+)
+from repro.certify.certifier import (
+    PROBE_PAYLOAD_BITS,
+    ProbeTask,
+    ResultCertifier,
+)
+from repro.certify.ledger import CredibilityLedger
+from repro.certify.policy import MODES, CertifyPolicy
+
+__all__ = [
+    "ADVERSARY_KINDS",
+    "Adversary",
+    "CertifyPolicy",
+    "CredibilityLedger",
+    "FREE_RIDER_SECONDS",
+    "MODES",
+    "PROBE_PAYLOAD_BITS",
+    "ProbeTask",
+    "ResultCertifier",
+]

@@ -1,0 +1,112 @@
+"""Adversarial PNA behaviour models (Byzantine, not fail-stop).
+
+OddCI's processing nodes live outside the operator's trust boundary:
+the paper's PNAs verify broadcast *signatures*, but nothing protects
+the return path.  This module models what an owned set-top box can do
+with it — the fault injector flips a seeded fraction of PNAs into one
+of these profiles (new :data:`~repro.faults.plan.KINDS`), and the
+certification layer (:mod:`repro.certify.certifier`) has to catch them.
+
+Profiles
+--------
+
+``saboteur``
+    Computes for the honest duration but returns a *wrong* result
+    digest with otherwise correct accounting.  Non-colluding by
+    default: each saboteur's wrong digest is salted per node, so two
+    saboteurs voting on the same task disagree with each other as well
+    as with the truth (majority voting then never certifies a wrong
+    value).  ``collude=True`` drops the salt — colluding saboteurs
+    vote identically and *can* outvote a lone honest replica, which is
+    exactly the escape the sweep measures.
+``free_rider``
+    Claims the task without computing it: the result comes back after
+    ``FREE_RIDER_SECONDS`` (network turnaround, not work) and its
+    digest is fabricated — a node farming completion credit.
+``straggler``
+    Honest values, dishonest timing: compute time is inflated by
+    ``slowdown``.  Caught by leases/backoff, not by voting.
+``heartbeat_spoof``
+    The DVE is dead (or never created) but the node keeps heartbeating
+    ``BUSY`` — it occupies census and membership slots while
+    contributing nothing.  Modelled in :class:`~repro.core.pna.PNA`
+    (no behaviour here beyond the kind tag).
+
+Digest model
+------------
+
+An honest result carries ``digest=None`` (zero overhead on the honest
+path — the wire payload's default).  Adversarial digests are negative
+integers derived deterministically from ``(task_id, salt)``; the salt
+is a CRC32 of the node id (never Python's randomized ``hash``), so
+runs replay byte-identically for any ``--jobs`` count.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.errors import FaultPlanError
+
+__all__ = ["Adversary", "ADVERSARY_KINDS", "FREE_RIDER_SECONDS"]
+
+#: Recognised adversary kinds (mirrors the fault-plan kinds).
+ADVERSARY_KINDS = ("saboteur", "free_rider", "straggler", "heartbeat_spoof")
+
+#: A free rider's claim latency: long enough to look like a very fast
+#: node, short enough to beat every honest compute time.
+FREE_RIDER_SECONDS = 0.5
+
+
+class Adversary:
+    """One node's Byzantine behaviour profile.
+
+    Attached to a :class:`~repro.core.pna.PNA` (``pna.adversary``);
+    both task paths consult it at assignment-accept time, so an
+    in-flight task finishes with the behaviour active when it was
+    accepted — mid-window flips never split one task's semantics.
+    """
+
+    __slots__ = ("kind", "salt", "collude", "slowdown")
+
+    def __init__(self, kind: str, pna_id: str, *, collude: bool = False,
+                 slowdown: float = 10.0) -> None:
+        if kind not in ADVERSARY_KINDS:
+            raise FaultPlanError(
+                f"unknown adversary kind {kind!r}; "
+                f"expected one of {ADVERSARY_KINDS}")
+        if slowdown <= 0:
+            raise FaultPlanError(f"slowdown must be > 0, got {slowdown}")
+        self.kind = kind
+        # Deterministic per-node salt (zlib.crc32, not str hash — the
+        # latter is randomized per interpreter run).
+        self.salt = 0 if collude else (zlib.crc32(pna_id.encode()) & 0xFFFF)
+        self.collude = collude
+        self.slowdown = float(slowdown)
+
+    def compute_seconds(self, honest_seconds: float) -> float:
+        """Local compute time, given the honest device time."""
+        kind = self.kind
+        if kind == "free_rider":
+            return FREE_RIDER_SECONDS
+        if kind == "straggler":
+            return honest_seconds * self.slowdown
+        return honest_seconds
+
+    def digest(self, task_id: int):
+        """Result digest this node returns for ``task_id``.
+
+        ``None`` (the honest wire default) for behaviours that do the
+        work correctly; a negative integer — never colliding with an
+        honest ``None`` and, when not colluding, salted per node — for
+        fabricated results.
+        """
+        if self.kind == "straggler":
+            return None
+        # Wrong answers live below -2**17 so they can never alias a
+        # probe's (small, certifier-internal) bookkeeping values.
+        return -((abs(task_id) + 1) * 131072 + self.salt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Adversary {self.kind} salt={self.salt}"
+                f"{' collude' if self.collude else ''}>")

@@ -1,0 +1,71 @@
+"""Per-node credibility accounting.
+
+Sarmenta's credibility-based fault tolerance keeps a per-worker score
+that rises slowly with verified work and collapses quickly on any
+caught error.  The ledger here follows that shape with a cheap
+closed-form update:
+
+* **good** outcome (won a vote, passed a probe):
+  ``cred' = 1 - (1 - cred) / 2`` — halves the distance to 1, so trust
+  is earned geometrically, never instantly;
+* **bad** outcome (lost a vote, failed a probe):
+  ``cred' = cred * penalty`` — multiplicative collapse, and the bad
+  counter feeds the quarantine threshold;
+* **timeout** (lease expired before a vote): mild decay
+  ``cred' = cred * 0.9`` with *no* bad-counter bump — honest churn
+  (viewer switched the set-top box off) expires leases all the time
+  and must never quarantine a node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = ["CredibilityLedger"]
+
+_TIMEOUT_DECAY = 0.9
+
+
+class CredibilityLedger:
+    """Credibility scores and bad-outcome counts, keyed by pna_id."""
+
+    __slots__ = ("initial", "penalty", "_cred", "_bad")
+
+    def __init__(self, *, initial: float = 0.5,
+                 penalty: float = 0.25) -> None:
+        self.initial = float(initial)
+        self.penalty = float(penalty)
+        self._cred: Dict[str, float] = {}
+        self._bad: Dict[str, int] = {}
+
+    def credibility(self, pna_id: str) -> float:
+        return self._cred.get(pna_id, self.initial)
+
+    def bad_count(self, pna_id: str) -> int:
+        return self._bad.get(pna_id, 0)
+
+    def record_good(self, pna_id: str) -> float:
+        cred = 1.0 - (1.0 - self.credibility(pna_id)) / 2.0
+        self._cred[pna_id] = cred
+        return cred
+
+    def record_bad(self, pna_id: str) -> int:
+        """Collapse credibility; returns the updated bad count."""
+        self._cred[pna_id] = self.credibility(pna_id) * self.penalty
+        bad = self._bad.get(pna_id, 0) + 1
+        self._bad[pna_id] = bad
+        return bad
+
+    def record_timeout(self, pna_id: str) -> float:
+        cred = self.credibility(pna_id) * _TIMEOUT_DECAY
+        self._cred[pna_id] = cred
+        return cred
+
+    # -- inspection ----------------------------------------------------
+    def known_nodes(self) -> List[str]:
+        return sorted(self._cred)
+
+    def snapshot(self) -> List[Tuple[str, float, int]]:
+        """``(pna_id, credibility, bad_count)`` rows, sorted by id."""
+        return [(pna_id, self._cred[pna_id], self._bad.get(pna_id, 0))
+                for pna_id in sorted(self._cred)]

@@ -33,7 +33,7 @@ try:  # numpy powers the vectorised cohort lease math; optional.
 except ImportError:  # pragma: no cover - numpy is a baseline dep
     _np = None
 
-from repro.errors import BackendError
+from repro.errors import BackendError, QuarantinedNodeError
 from repro.core.dve import CONTROL_PAYLOAD_BITS
 from repro.core.messages import (
     NoWork,
@@ -112,6 +112,7 @@ class Backend:
         replicate_tail: bool = False,
         max_replicas: int = 2,
         scheduling: str = "fifo",
+        certify_policy=None,
     ) -> None:
         if lease_factor is not None and lease_factor <= 0:
             raise BackendError("lease_factor must be > 0 when set")
@@ -174,6 +175,20 @@ class Backend:
         self.replicate_tail = replicate_tail
         self.max_replicas = int(max_replicas)
         self.scheduling = scheduling
+        #: result certification (DESIGN.md §15): a CertifyPolicy builds
+        #: a ResultCertifier that takes over dispatch/result handling —
+        #: redundant copies, quorum voting, probes, quarantine.  ``None``
+        #: (the default) keeps the classic direct paths bit-exactly.
+        if certify_policy is not None:
+            if replicate_tail:
+                raise BackendError(
+                    "certify_policy and replicate_tail are mutually "
+                    "exclusive (certification owns replica placement)")
+            from repro.certify.certifier import ResultCertifier
+            self.certifier: Optional[ResultCertifier] = \
+                ResultCertifier(self, certify_policy)
+        else:
+            self.certifier = None
 
         self.submitted_at = sim.now
         # Dispatch order: FIFO (submission order), LPT (longest
@@ -301,6 +316,13 @@ class Backend:
         :class:`TaskAssignment`, the cohort engine consumes the
         :class:`Task` directly."""
         self._workers.add(pna_id)
+        if self.certifier is not None:
+            try:
+                return self.certifier.serve(pna_id, instance_id)
+            except QuarantinedNodeError:
+                # a blacklisted node polled: terminal NoWork — its
+                # client loop stops instead of spinning on retries
+                return self._nowork_reply(instance_id, None)
         task = self._next_task()
         is_replica = False
         if task is None and self.replicate_tail and not self.done:
@@ -310,33 +332,11 @@ class Backend:
             # Bag empty: if the job is done the worker can stop; otherwise
             # tasks are in flight and might be re-queued — poll again.
             retry = None if self.done else self.poll_interval_s
-            cache_key = (instance_id, retry)
-            reply = self._nowork_cache.get(cache_key)
-            if reply is None:
-                reply = NoWork(instance_id=instance_id, retry_after_s=retry)
-                self._nowork_cache[cache_key] = reply
-            return reply
+            return self._nowork_reply(instance_id, retry)
         if not is_replica:
             now = self.sim.now
-            lease = None
-            if self.lease_factor is not None:
-                lease_s = self.lease_factor * (
-                    task.ref_seconds * self.worst_case_slowdown
-                    + self.poll_interval_s)
-                attempt = self._attempts.get(task.task_id, 0)
-                if attempt:
-                    # Exponential backoff per expired lease, plus an
-                    # optional deterministic jitter so re-dispatches
-                    # desynchronise from a systemic fault's cadence.
-                    # At the default (base=1, jitter=0) this branch
-                    # never changes lease_s and draws no RNG.
-                    if self.lease_backoff_base != 1.0:
-                        lease_s *= self.lease_backoff_base ** attempt
-                    if self.lease_backoff_jitter > 0.0:
-                        lease_s *= 1.0 + self.lease_backoff_jitter * float(
-                            self.sim.rng(
-                                self._backoff_stream_for(pna_id)).random())
-                lease = now + lease_s
+            lease_s = self._lease_seconds(task, pna_id)
+            lease = None if lease_s is None else now + lease_s
             self._in_flight[task.task_id] = (task, pna_id, now, lease)
             self.tasks_assigned += 1
             if self.assigned_by_network is not None:
@@ -359,6 +359,45 @@ class Backend:
                        pna=pna_id, replica=is_replica)
         return task
 
+    def _nowork_reply(self, instance_id: str,
+                      retry: Optional[float]) -> NoWork:
+        """Shared immutable NoWork for ``(instance, retry)`` — at the
+        end of a job every idle worker polls repeatedly."""
+        cache_key = (instance_id, retry)
+        reply = self._nowork_cache.get(cache_key)
+        if reply is None:
+            reply = NoWork(instance_id=instance_id, retry_after_s=retry)
+            self._nowork_cache[cache_key] = reply
+        return reply
+
+    def _lease_seconds(self, task, pna_id: str) -> Optional[float]:
+        """Lease length for assigning ``task`` to ``pna_id`` now,
+        including the per-attempt exponential backoff and the optional
+        deterministic jitter; ``None`` when leasing is disabled.
+
+        Shared by the direct dispatch path and the certifier (each
+        certified *copy* gets its own lease from the same streams).
+        """
+        if self.lease_factor is None:
+            return None
+        lease_s = self.lease_factor * (
+            task.ref_seconds * self.worst_case_slowdown
+            + self.poll_interval_s)
+        attempt = self._attempts.get(task.task_id, 0)
+        if attempt:
+            # Exponential backoff per expired lease, plus an
+            # optional deterministic jitter so re-dispatches
+            # desynchronise from a systemic fault's cadence.
+            # At the default (base=1, jitter=0) this branch
+            # never changes lease_s and draws no RNG.
+            if self.lease_backoff_base != 1.0:
+                lease_s *= self.lease_backoff_base ** attempt
+            if self.lease_backoff_jitter > 0.0:
+                lease_s *= 1.0 + self.lease_backoff_jitter * float(
+                    self.sim.rng(
+                        self._backoff_stream_for(pna_id)).random())
+        return lease_s
+
     # -- cohort dispatch tier ------------------------------------------------
     def receive_request_cohort(self, requesters: Sequence[str],
                                instance_id: str) -> list:
@@ -376,6 +415,7 @@ class Backend:
         pending = self._pending
         k = len(requesters)
         if (len(pending) >= k and not self.replicate_tail
+                and self.certifier is None
                 and (not self._attempts
                      or (self.lease_backoff_base == 1.0
                          and self.lease_backoff_jitter == 0.0))):
@@ -467,10 +507,19 @@ class Backend:
         return best[_T_TASK] if best is not None else None
 
     def _handle_result(self, result: TaskResultPayload) -> None:
-        self.receive_result(result.pna_id, result.task_id)
+        self.receive_result(result.pna_id, result.task_id,
+                            getattr(result, "digest", None))
 
-    def receive_result(self, pna_id: str, task_id: int) -> None:
-        """Accept one task result (wire payload or cohort engine)."""
+    def receive_result(self, pna_id: str, task_id: int,
+                       digest: Optional[int] = None) -> None:
+        """Accept one task result (wire payload or cohort engine).
+
+        ``digest`` is the certification summary; uncertified backends
+        ignore it (a Byzantine result is silently accepted — exactly
+        the gap the certifier closes)."""
+        if self.certifier is not None:
+            self.certifier.on_result(pna_id, task_id, digest)
+            return
         if task_id in self._completed:
             self._suppress_duplicate()
             return
@@ -485,6 +534,12 @@ class Backend:
             else:
                 self._suppress_duplicate()
                 return
+        self._record_completion(task_id, pna_id)
+
+    def _record_completion(self, task_id: int, pna_id: str) -> None:
+        """Commit one completion: records, per-network counts, traces,
+        and the job-done event.  Shared by the direct result path and
+        the certifier's quorum commit."""
         self._completed[task_id] = self.sim.now
         if self.completed_by_network is not None:
             net = self._network_for(pna_id)
@@ -553,6 +608,10 @@ class Backend:
             while not self.done:
                 yield self.lease_check_interval_s
                 now = self.sim.now
+                if self.certifier is not None:
+                    # certified copies carry their own per-holder leases
+                    self.certifier.expire_leases(now)
+                    continue
                 expired = [tid for tid, a in self._in_flight.items()
                            if a[_T_LEASE] is not None
                            and a[_T_LEASE] < now]

@@ -45,6 +45,7 @@ from repro.errors import (
     InstanceError,
     OddCIError,
     ProvisioningError,
+    QuarantinedNodeError,
 )
 from repro.core.census import (
     STATE_BUSY,
@@ -162,10 +163,16 @@ class ControllerCheckpoint:
     created_at, wakeups_sent, trims_sent, resets_sent)``.  The census
     (registry, members, pending trims) is volatile by design and is
     reconciled from post-restart heartbeats instead of being persisted.
+
+    ``blacklist`` holds quarantined node ids (DESIGN.md §15): unlike
+    the census it *is* durable — a sabotaging node must not re-enter
+    the infrastructure just because the Controller rebooted.  Absent on
+    checkpoints from older builds; restore treats it as empty then.
     """
 
     time: float
     instances: Tuple[Tuple[str, InstanceSpec, str, float, int, int, int], ...]
+    blacklist: Tuple[str, ...] = ()
 
 
 class Controller:
@@ -213,6 +220,10 @@ class Controller:
         self.instances: Dict[str, InstanceRecord] = {}
         self._pending_trims: Dict[str, int] = {}
         self._pending_resets: Set[str] = set()
+        #: quarantined node ids (DESIGN.md §15): consolidation refuses
+        #: their heartbeats, so they can never re-enter the census.
+        #: Durable across crash/restore — see ControllerCheckpoint.
+        self._blacklist: Set[str] = set()
         self.counters = Counter()
         self.size_history: Dict[str, TimeSeries] = {}
         # Cohort duplicate guard: per-node epoch stamps (grown lazily to
@@ -263,6 +274,7 @@ class Controller:
             self._m_registry = None
             self._m_idle = None
             self._m_alive = None
+            self._m_quarantined = None
         else:
             self._m_heartbeats = metrics.counter(_mname("census.heartbeats"))
             self._m_stale = metrics.counter(_mname("census.stale_resets"))
@@ -278,6 +290,8 @@ class Controller:
             self._m_registry = metrics.gauge(_mname("census.registry_size"))
             self._m_idle = metrics.gauge(_mname("census.idle"))
             self._m_alive = metrics.gauge(_mname("census.alive"))
+            self._m_quarantined = metrics.counter(
+                _mname("census.quarantined"))
 
         router.register_component(controller_id, self._receive,
                                   receive_batch=self._receive_batch,
@@ -378,6 +392,57 @@ class Controller:
         intervals = [r.spec.heartbeat_interval_s
                      for r in self.instances.values()] or [60.0]
         return self.heartbeat_grace_factor * max(intervals)
+
+    # -- quarantine (DESIGN.md §15) ----------------------------------------
+    @property
+    def blacklist(self) -> frozenset:
+        """Quarantined node ids (read-only view)."""
+        return frozenset(self._blacklist)
+
+    def is_quarantined(self, pna_id: str) -> bool:
+        return pna_id in self._blacklist
+
+    def quarantine_node(self, pna_id: str, reason: str = "") -> bool:
+        """Evict ``pna_id`` from the infrastructure permanently.
+
+        Called by a Backend's :class:`~repro.certify.ResultCertifier`
+        when a node crosses the quarantine threshold.  The node is
+        dropped from every instance membership immediately (the census
+        registry entry ages out — consolidation refuses blacklisted
+        heartbeats from now on) and its DVE is torn down with a direct
+        reset.  Idempotent: returns ``False`` when the node was already
+        blacklisted (another job's certifier got there first).
+
+        Works while crashed too — the blacklist is durable state and a
+        running Backend may convict a node during a Controller outage;
+        only the census eviction and reset are skipped then (there is
+        no census, and the restart reconciliation honours the list).
+        """
+        if pna_id in self._blacklist:
+            return False
+        self._blacklist.add(pna_id)
+        self.counters.incr("quarantines")
+        if self._m_quarantined is not None:
+            self._m_quarantined.value += 1
+        trace = self._trace
+        if trace is not None:
+            trace.emit(self.sim.now, "quarantine", pna=pna_id,
+                       reason=reason, **self._net_kw)
+        if self.alive:
+            interner = self.census.interner
+            if pna_id in interner:
+                self.census.drop_from_all(interner.index_of(pna_id))
+            self._reply_reset(pna_id)
+        return True
+
+    def require_not_quarantined(self, pna_id: str) -> None:
+        """Raise :class:`~repro.errors.QuarantinedNodeError` for a
+        blacklisted node — the typed guard for admission paths."""
+        if pna_id in self._blacklist:
+            raise QuarantinedNodeError(
+                f"node {pna_id!r} is quarantined by "
+                f"{self.controller_id!r}", pna_id=pna_id,
+                evidence="blacklisted")
 
     # -- signing ---------------------------------------------------------------
     @property
@@ -515,12 +580,18 @@ class Controller:
         groups_get = groups.get
         IDLE = PNAState.IDLE
         unseen = _UNSEEN
+        blacklist = self._blacklist
         for payload, idx in zip(payloads, idxs):
             if stamp[idx] == epoch:
                 # Duplicate node in one batch: not a wheel cohort.
                 self._receive_batch(payloads)
                 return
             stamp[idx] = epoch
+            if blacklist and payload.pna_id in blacklist:
+                # Quarantined: the slow tail's _consolidate refuses it
+                # (columnar touch would resurrect the census entry).
+                slow_append(payload)
+                continue
             if payload.state is IDLE:
                 idle_append(idx)
                 continue
@@ -557,6 +628,14 @@ class Controller:
             consolidate(payload)
 
     def _consolidate(self, payload: HeartbeatPayload) -> None:
+        if self._blacklist and payload.pna_id in self._blacklist:
+            # Quarantined node: never re-enters the census.  A busy
+            # claim gets a direct reset so its DVE is torn down; idle
+            # chatter is simply ignored until the PNA gives up.
+            self.counters.incr("blacklisted_heartbeats")
+            if payload.state is PNAState.BUSY:
+                self._reply_reset(payload.pna_id)
+            return
         now = self.sim.now
         census = self.census
         idx = census.interner.intern(payload.pna_id)
@@ -749,7 +828,8 @@ class Controller:
             (r.instance_id, r.spec, r.status.value, r.created_at,
              r.wakeups_sent, r.trims_sent, r.resets_sent)
             for r in self.instances.values())
-        return ControllerCheckpoint(time=self.sim.now, instances=rows)
+        return ControllerCheckpoint(time=self.sim.now, instances=rows,
+                                    blacklist=tuple(sorted(self._blacklist)))
 
     def crash(self) -> None:
         """Kill the Controller: volatile census lost, network presence gone.
@@ -832,6 +912,10 @@ class Controller:
         self.instances = restored
         self.registry.clear()
         self._pending_trims.clear()
+        # Union, not replace: convictions landed while the Controller
+        # was down (Backends keep certifying through an outage) must
+        # survive the restore.  getattr tolerates pre-§15 checkpoints.
+        self._blacklist |= set(getattr(cp, "blacklist", ()))
         self.alive = True
         self.router.register_component(
             self.controller_id, self._receive,

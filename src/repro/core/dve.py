@@ -123,13 +123,24 @@ class DVE:
                         f"DVE got unexpected backend reply {reply!r}")
 
                 # 2. compute (input transfer time was paid by the downlink
-                #    delivery of the assignment, which carried input_bits)
-                yield self.pna.executor(reply.ref_seconds)
+                #    delivery of the assignment, which carried input_bits).
+                #    The behaviour profile is captured *now*, before the
+                #    compute yield, so a mid-task adversary flip never
+                #    splits one task's semantics.
+                adv = self.pna.adversary
+                honest_s = self.pna.executor(reply.ref_seconds)
+                if adv is None:
+                    digest = None
+                    yield honest_s
+                else:
+                    digest = adv.digest(reply.task_id)
+                    yield adv.compute_seconds(honest_s)
 
                 # 3. ship the result — at-least-once: retransmit until the
                 #    link confirms delivery (the Backend deduplicates)
                 result = TaskResultPayload(pna_id=pna_id,
-                                           task_id=reply.task_id)
+                                           task_id=reply.task_id,
+                                           digest=digest)
                 while not self.destroyed:
                     done = new_event(name="dve.sent")
                     router.send_from_pna_notify(

@@ -55,6 +55,7 @@ from repro.errors import (
     ControllerDownError,
     InstanceError,
     ProvisioningError,
+    QuarantinedNodeError,
 )
 from repro.core.backend import Backend, JobReport
 from repro.core.census import NodeInterner
@@ -490,15 +491,21 @@ class FederatedProvider:
         lifetime_s: Optional[float] = None,
         size_tolerance: float = 0.1,
         lease_factor: Optional[float] = None,
+        lease_backoff_base: float = 1.0,
+        lease_backoff_jitter: float = 0.0,
         worst_case_slowdown: float = 25.0,
         replicate_tail: bool = False,
+        certify_policy=None,
         release_on_completion: bool = True,
     ) -> FederatedSubmission:
         """Run ``job`` on instances split across the federation.
 
         One Backend serves every network (registered on all shard
         routers); each contributing network gets its own
-        :class:`InstanceSpec` sized by the placement matcher.
+        :class:`InstanceSpec` sized by the placement matcher.  A
+        ``certify_policy`` arms result certification on the shared
+        Backend; quarantine evictions fan out to every shard controller
+        that recognises the node.
         """
         if target_size <= 0:
             raise ProvisioningError(
@@ -512,8 +519,13 @@ class FederatedProvider:
         backend = Backend(self.sim, job, routers,
                           backend_id=backend_id, networks=networks,
                           lease_factor=lease_factor,
+                          lease_backoff_base=lease_backoff_base,
+                          lease_backoff_jitter=lease_backoff_jitter,
                           worst_case_slowdown=worst_case_slowdown,
-                          replicate_tail=replicate_tail)
+                          replicate_tail=replicate_tail,
+                          certify_policy=certify_policy)
+        if backend.certifier is not None:
+            backend.certifier.on_quarantine = self._quarantine_everywhere
         base_spec = InstanceSpec(
             target_size=target_size,
             image_name=job.name or f"job-{job.job_id}",
@@ -704,6 +716,25 @@ class FederatedProvider:
         submission = self._submissions.get(federation_id)
         if submission is not None:
             self.release(submission)
+
+    def _quarantine_everywhere(self, pna_id: str, reason: str) -> None:
+        """Evict a quarantined node from whichever shard knows it.
+
+        The certifier does not know which network a node came from, so
+        the eviction is offered to every shard controller; controllers
+        that have never seen the node ignore it (quarantine_node is a
+        no-census no-op for unknown ids).  Crashed shards are skipped —
+        their census is rebuilt on restore and the node stays
+        blacklisted on the shards that saw the eviction.
+        """
+        for shard in self.shards.values():
+            quarantine = getattr(shard.controller, "quarantine_node", None)
+            if quarantine is None or not shard.available:
+                continue
+            try:
+                quarantine(pna_id, reason)
+            except QuarantinedNodeError:
+                pass
 
     # -- reporting -------------------------------------------------------
     def status(self, submission: FederatedSubmission) -> dict:

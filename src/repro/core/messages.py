@@ -153,10 +153,18 @@ class TaskAssignment:
 
 @dataclass(frozen=True, slots=True)
 class TaskResultPayload:
-    """PNA → Backend: result of a finished task (``result_bits``)."""
+    """PNA → Backend: result of a finished task (``result_bits``).
+
+    ``digest`` summarises the result value for certification
+    (DESIGN.md §15): honest nodes send the wire default ``None`` — a
+    correct computation of the same task always matches — while
+    adversarial profiles fabricate negative digests.  Uncertified
+    Backends ignore the field entirely.
+    """
 
     pna_id: str
     task_id: int
+    digest: "int | None" = None
 
 
 @dataclass(frozen=True, slots=True)

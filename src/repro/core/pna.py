@@ -142,7 +142,7 @@ class PNA:
         "wakeups_accepted", "dropped_bad_signature", "dropped_busy",
         "dropped_probability", "dropped_requirements", "resets_handled",
         "heartbeats_sent", "_hb_payload", "_hb_cohort", "_trace",
-        "census_idx",
+        "census_idx", "adversary",
     )
 
     def __init__(
@@ -190,6 +190,10 @@ class PNA:
         self.instance_id: Optional[str] = None
         self.dve: Optional[DVE] = None
         self.online = bool(start_online)
+        #: Byzantine behaviour profile (repro.certify.adversary), or
+        #: ``None`` for an honest node.  Set by the fault injector;
+        #: consulted at assignment-accept time by both task paths.
+        self.adversary = None
 
         # drop counters (observability for the recruitment experiments)
         self.wakeups_seen = 0
@@ -236,25 +240,34 @@ class PNA:
         signature: bytes,
         *,
         fetch_image: Optional[Callable[[], Any]] = None,
-    ) -> None:
+    ) -> bool:
         """Handle a broadcast control message.
 
         ``fetch_image`` — when the substrate stages the image lazily
         (DSM-CC carousel), a callable returning an event that settles
         once this node has the image; ``None`` means the image arrived
         with the message (generic broadcast plane).
+
+        Returns ``True`` when the message was authenticated and
+        processed, ``False`` when it was refused outright (node
+        offline, bad signature).  Retrying substrates — the carousel
+        xlet polls the same config file every repetition — use the
+        verdict to decide whether a version was really *consumed*: a
+        message rejected during a signature-corruption window must be
+        retried at the next repetition, not remembered as seen.
         """
         if not self.online:
-            return
+            return False
         if not verify_control(self.controller_key, payload, signature):
             self.dropped_bad_signature += 1
-            return
+            return False
         if isinstance(payload, WakeupPayload):
             self._handle_wakeup(payload, fetch_image)
         elif isinstance(payload, ResetPayload):
             self._handle_reset(payload)
         else:
             raise OddCIError(f"unknown control payload {payload!r}")
+        return True
 
     def _handle_wakeup(self, wakeup: WakeupPayload,
                        fetch_image: Optional[Callable[[], Any]]) -> None:
@@ -303,6 +316,12 @@ class PNA:
         self._start_dve(wakeup)
 
     def _start_dve(self, wakeup: WakeupPayload) -> None:
+        adv = self.adversary
+        if adv is not None and adv.kind == "heartbeat_spoof":
+            # The spoofer claims the instance (state already BUSY, so it
+            # occupies a census/membership slot and keeps heartbeating)
+            # but never starts a client loop — a zombie contributor.
+            return
         if self.task_path == "cohort":
             engine = engine_for(self.router, wakeup.backend_id,
                                 wakeup.instance_id)
@@ -380,6 +399,40 @@ class PNA:
             self._hb_cohort.remove(self.pna_id)
             self._hb_cohort = None
         self._join_heartbeat_cohort()
+
+    # -- adversarial behaviour (fault injector hooks) ----------------------------
+    def set_adversary(self, adversary) -> None:
+        """Flip this node Byzantine (:class:`repro.certify.Adversary`).
+
+        A ``heartbeat_spoof`` profile kills the DVE on the spot while
+        the node stays BUSY — its heartbeats outlive the dead client
+        loop, which is exactly the paper-world failure this models.
+        Other profiles only change behaviour at the next
+        assignment-accept (in-flight work keeps its honest semantics).
+        """
+        self.adversary = adversary
+        trace = self._trace
+        if trace is not None:
+            trace.emit(self.sim.now, "adversary", pna=self.pna_id,
+                       kind=adversary.kind)
+        if adversary.kind == "heartbeat_spoof" and self.dve is not None:
+            self.dve.destroy()
+            self.dve = None  # state stays BUSY: the zombie heartbeats on
+
+    def clear_adversary(self) -> None:
+        """Restore honest behaviour (fault window ended)."""
+        adversary, self.adversary = self.adversary, None
+        if adversary is None:
+            return
+        trace = self._trace
+        if trace is not None:
+            trace.emit(self.sim.now, "adversary_cleared", pna=self.pna_id,
+                       kind=adversary.kind)
+        if adversary.kind == "heartbeat_spoof" \
+                and self.state is PNAState.BUSY and self.dve is None:
+            # Nothing is running behind the BUSY facade; go idle so the
+            # next wakeup can recruit this node honestly.
+            self._go_idle()
 
     # -- owner actions (power) ---------------------------------------------------
     def shutdown(self, *, manage_channel: bool = True) -> None:

@@ -275,7 +275,10 @@ class Provider:
         lifetime_s: Optional[float] = None,
         size_tolerance: float = 0.1,
         lease_factor: Optional[float] = None,
+        lease_backoff_base: float = 1.0,
+        lease_backoff_jitter: float = 0.0,
         replicate_tail: bool = False,
+        certify_policy=None,
         release_on_completion: bool = True,
     ) -> Submission:
         """Run ``job`` on a fresh OddCI instance of ``target_size`` nodes.
@@ -284,6 +287,14 @@ class Provider:
         wakeup message points PNAs at the new Backend.  When the last
         result arrives, the instance is dismantled automatically unless
         ``release_on_completion=False``.
+
+        ``lease_backoff_base`` / ``lease_backoff_jitter`` plumb straight
+        into the Backend's re-dispatch backoff (DESIGN.md §10): jitter
+        draws come from the backend's named RNG stream, so enabling it
+        keeps ``--jobs`` byte-parity.  ``certify_policy`` (a
+        :class:`~repro.certify.CertifyPolicy`) arms result
+        certification; when the Controller supports quarantine the
+        certifier's eviction hook is wired automatically.
         """
         if target_size <= 0:
             raise ProvisioningError(
@@ -291,7 +302,14 @@ class Provider:
         backend_id = f"backend-job{job.job_id}"
         backend = Backend(self.sim, job, self.controller.router,
                           backend_id=backend_id, lease_factor=lease_factor,
-                          replicate_tail=replicate_tail)
+                          lease_backoff_base=lease_backoff_base,
+                          lease_backoff_jitter=lease_backoff_jitter,
+                          replicate_tail=replicate_tail,
+                          certify_policy=certify_policy)
+        if backend.certifier is not None:
+            quarantine = getattr(self.controller, "quarantine_node", None)
+            if quarantine is not None:
+                backend.certifier.on_quarantine = quarantine
         spec = InstanceSpec(
             target_size=target_size,
             image_name=job.name or f"job-{job.job_id}",

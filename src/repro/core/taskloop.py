@@ -131,7 +131,7 @@ class CohortTaskEngine:
         "_buckets", "_memo_t", "_memo_bucket",
         # columnar member state (struct-of-arrays)
         "_phase", "_deadline", "_token", "_task_id", "_result_bits",
-        "_completed", "_retrans", "_destroyed", "_timeout",
+        "_digest", "_completed", "_retrans", "_destroyed", "_timeout",
         # object columns
         "_pna", "_pna_id", "_uplink", "_downlink", "_executor",
         "members_joined",
@@ -158,6 +158,10 @@ class CohortTaskEngine:
         self._token = array("q")
         self._task_id = array("q")
         self._result_bits = array("d")
+        #: result digest of the member's current task: 0 = honest
+        #: (wire ``None``); adversarial digests are always negative, so
+        #: 0 can never collide (repro.certify.adversary digest model).
+        self._digest = array("q")
         self._completed = array("q")
         self._retrans = array("q")
         self._destroyed = array("b")
@@ -180,6 +184,7 @@ class CohortTaskEngine:
         self._token.append(0)
         self._task_id.append(-1)
         self._result_bits.append(0.0)
+        self._digest.append(0)
         self._completed.append(0)
         self._retrans.append(0)
         self._destroyed.append(0)
@@ -404,8 +409,19 @@ class CohortTaskEngine:
         self._result_bits[slot] = result_bits
         self._deadline[slot] = -1.0
         self._phase[slot] = _COMPUTING
-        self._append(now + self._executor[slot](ref_seconds),
-                     (_K_COMPUTE, slot))
+        # Behaviour profile captured at accept time (the reference DVE
+        # reads it before its compute yield): a mid-task adversary flip
+        # never splits one task's semantics.
+        adv = self._pna[slot].adversary
+        if adv is None:
+            self._digest[slot] = 0
+            compute_s = self._executor[slot](ref_seconds)
+        else:
+            d = adv.digest(task_id)
+            self._digest[slot] = 0 if d is None else d
+            compute_s = adv.compute_seconds(
+                self._executor[slot](ref_seconds))
+        self._append(now + compute_s, (_K_COMPUTE, slot))
 
     def _handle_assign_arrivals(self, entries: list, i: int, j: int,
                                 now: float) -> None:
@@ -425,15 +441,19 @@ class CohortTaskEngine:
                 continue  # reset/stale: the reference DVE drops it too
             live.append(e)
         if _np is not None and len(live) >= _BULK_MIN and all(
-                executors[e[1]] is identity for e in live):
+                executors[e[1]] is identity and pnas[e[1]].adversary is None
+                for e in live):
             # Bulk branch: identity executors (reference-PC nodes) let
             # the whole run's completion instants come out of one
             # vectorised add — scalar-bit-identical (same op order).
+            # Adversarial members fall to the scalar loop, which
+            # consults their behaviour profile per slot.
             refs = _np.fromiter((e[2].ref_seconds for e in live),
                                 _np.float64, len(live))
             completions = (refs + now).tolist()
             task_ids = self._task_id
             result_bits = self._result_bits
+            digests = self._digest
             deadlines = self._deadline
             buckets = self._buckets
             call_at = self.sim.call_at
@@ -445,6 +465,7 @@ class CohortTaskEngine:
                 task = e[2]
                 task_ids[slot] = task.task_id
                 result_bits[slot] = task.result_bits
+                digests[slot] = 0
                 deadlines[slot] = -1.0
                 phase[slot] = _COMPUTING
                 if done_at != bt:
@@ -505,8 +526,12 @@ class CohortTaskEngine:
             CONTROL_PAYLOAD_BITS + self._result_bits[slot]
             + DEFAULT_HEADER_BITS)
         if deliver_at is not None:
+            # The digest rides the entry (copied at send time): a stale
+            # retransmitted copy must carry the digest of the task it
+            # was computed for, never a newer task's slot value.
             self._append(deliver_at,
-                         (_K_RESULT_ARR, slot, self._task_id[slot], token))
+                         (_K_RESULT_ARR, slot, self._task_id[slot], token,
+                          self._digest[slot]))
         deadline = now + self._timeout[slot]
         self._deadline[slot] = deadline
         self._append(deadline, (_K_DEADLINE, slot, deadline))
@@ -522,6 +547,7 @@ class CohortTaskEngine:
         tokens = self._token
         task_ids = self._task_id
         result_bits = self._result_bits
+        digests = self._digest
         deadlines = self._deadline
         timeouts = self._timeout
         buckets = self._buckets
@@ -556,7 +582,8 @@ class CohortTaskEngine:
                     if bt_list is None:
                         bt_list = buckets[deliver_at] = []
                         call_at(deliver_at, fire, deliver_at)
-                bt_list.append((_K_RESULT_ARR, slot, task_ids[slot], token))
+                bt_list.append((_K_RESULT_ARR, slot, task_ids[slot], token,
+                                digests[slot]))
             deadline = now + timeouts[slot]
             deadlines[slot] = deadline
             if deadline != bd:
@@ -593,6 +620,12 @@ class CohortTaskEngine:
         # a mid-run settle defers the remainder to a fresh call (which
         # re-evaluates after the urgent auto-release unregisters).
         gone = router._payload_receivers.get(self.backend_id) is None
+        # A certified backend routes every result (real or probe)
+        # through its certifier — the inlined happy path below commits
+        # straight into the completion records, which would bypass
+        # quorum voting.  Falling back keeps the batched tier for every
+        # other phase of the loop.
+        certifier = getattr(backend, "certifier", None)
         # ``receive_result`` happy path inlined (the 10^6-node hot
         # loop): first-copy results pop straight out of the in-flight
         # table with the exact op order of the scalar handler —
@@ -617,10 +650,13 @@ class CohortTaskEngine:
         # read — and to nothing on the post-done tail.
         was_settled = done_event._settled
         for k in range(i, j):
-            _kind, slot, task_id, token = entries[k]
+            _kind, slot, task_id, token, digest = entries[k]
             uplinks[slot]._delivered += 1
             if gone:
                 router.undeliverable += 1
+            elif certifier is not None:
+                receive_result(pna_ids[slot], task_id,
+                               digest if digest != 0 else None)
             elif task_id not in completed_map \
                     and in_flight_pop(task_id, None) is not None:
                 completed_map[task_id] = now

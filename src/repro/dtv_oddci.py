@@ -196,16 +196,21 @@ class PNAXlet(Xlet):
                 config = yield carousel.read(CONFIG_FILE)
                 if config.version <= self._last_config_version:
                     continue
-                self._last_config_version = config.version
                 control = config.metadata.get("control")
                 if control is None:
+                    self._last_config_version = config.version
                     continue
                 payload, signature = control
                 fetch = None
                 if isinstance(payload, WakeupPayload):
                     fetch = self._image_fetcher(payload.image_name)
-                self.pna.deliver_control(payload, signature,
-                                         fetch_image=fetch)
+                if self.pna.deliver_control(payload, signature,
+                                            fetch_image=fetch):
+                    self._last_config_version = config.version
+                # A refused message (tampered signature, node offline)
+                # leaves the version unconsumed: the same config file
+                # comes around next repetition and is retried — a
+                # corruption window must not permanently eat a wakeup.
         except Interrupt:
             pass
 

@@ -28,7 +28,9 @@ Hierarchy::
     │   └── FaultError
     │       ├── BackendError
     │       ├── ControllerDownError
-    │       └── FaultPlanError
+    │       ├── FaultPlanError
+    │       └── SabotageError
+    │           └── QuarantinedNodeError
     ├── WorkloadError
     ├── BaselineError
     ├── AnalysisError
@@ -174,6 +176,37 @@ class ControllerDownError(FaultError):
 
 class FaultPlanError(FaultError):
     """Malformed fault plan, or a plan the target system cannot host."""
+
+
+class SabotageError(FaultError):
+    """Byzantine behaviour detected on the result path.
+
+    Carries structured node context (``pna_id``, ``task_id``,
+    ``evidence``) so certification code and traces can attribute the
+    failure without parsing the message — the same pattern as
+    :class:`RequestContextMixin` on the request path.
+    """
+
+    def __init__(self, message: str = "", *, pna_id: str = "",
+                 task_id: "int | None" = None, evidence: int = 0) -> None:
+        super().__init__(message)
+        self.pna_id = pna_id
+        self.task_id = task_id
+        self.evidence = evidence
+
+    def context(self) -> dict:
+        """The structured fields as a plain dict (for trace events)."""
+        return {"pna_id": self.pna_id, "task_id": self.task_id,
+                "evidence": self.evidence}
+
+
+class QuarantinedNodeError(SabotageError):
+    """A quarantined (blacklisted) node attempted to interact.
+
+    Raised by the certification layer when a blacklisted PNA polls for
+    work, and by :meth:`~repro.core.controller.Controller.quarantine_node`
+    on a double quarantine; recovery paths catch it to serve the node a
+    terminal ``NoWork`` instead of tasks."""
 
 
 class WorkloadError(ReproError):

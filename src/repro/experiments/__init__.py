@@ -14,6 +14,7 @@
 | FD | federation | :func:`~repro.experiments.federation_sweep.run_federation_sweep` |
 | SV | service tier | :func:`~repro.experiments.service_sweep.run_service_sweep` |
 | FC | flash crowd | :func:`~repro.experiments.flash_crowd.run_flash_crowd` |
+| SB | sabotage | :func:`~repro.experiments.sabotage_sweep.run_sabotage_sweep` |
 
 Every driver is decomposed into a *per-point* function (one grid point
 → one result record) and registered as a
@@ -63,6 +64,14 @@ from repro.experiments.flash_crowd import (
     run_flash_crowd,
 )
 from repro.experiments.fig7 import point_fig7, render_fig7, run_fig7
+from repro.experiments.sabotage_sweep import (
+    CERTIFY_POLICIES,
+    finalize_sabotage_sweep,
+    point_sabotage_sweep,
+    render_sabotage_sweep,
+    run_sabotage_sweep,
+    sabotage_plan,
+)
 from repro.experiments.service_sweep import (
     finalize_service_sweep,
     point_service_sweep,
@@ -121,4 +130,7 @@ __all__ = [
     "point_service_sweep", "finalize_service_sweep",
     "run_flash_crowd", "render_flash_crowd",
     "point_flash_crowd", "finalize_flash_crowd",
+    "run_sabotage_sweep", "render_sabotage_sweep",
+    "point_sabotage_sweep", "finalize_sabotage_sweep",
+    "sabotage_plan", "CERTIFY_POLICIES",
 ]

@@ -11,6 +11,7 @@ from repro.faults.availability import (
 )
 from repro.faults.injector import FaultInjector, FaultTargets
 from repro.faults.plan import (
+    ADVERSARY_FAULT_KINDS,
     KINDS,
     PRESETS,
     FaultEvent,
@@ -23,6 +24,7 @@ from repro.faults.plan import (
 )
 
 __all__ = [
+    "ADVERSARY_FAULT_KINDS",
     "KINDS",
     "PRESETS",
     "FaultEvent",

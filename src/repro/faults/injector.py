@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence
 
+from repro.certify.adversary import Adversary
 from repro.errors import FaultPlanError
 from repro.faults.plan import FaultEvent, FaultPlan
 from repro.telemetry import trace as telemetry
@@ -95,6 +96,12 @@ _REQUIREMENTS = {
     "link_down": (),
     "link_flap": (),
     "churn_storm": (),
+    # adversary kinds flip node behaviour; victims resolve lazily like
+    # churn storms do.
+    "saboteur": (),
+    "free_rider": (),
+    "straggler": (),
+    "heartbeat_spoof": (),
 }
 
 
@@ -345,6 +352,50 @@ class FaultInjector:
             ids = tuple(n.pna_id for n in victims)
             self.sim.call_at(self.sim.now + ev.duration_s,
                              self._restore_storm, ids)
+
+    # -- adversary kinds (Byzantine behaviour flips) -----------------------
+
+    def _fire_adversary(self, ev: FaultEvent) -> None:
+        """Shared victim selection for the Byzantine kinds: the same
+        churn-storm idiom (seeded choice over currently-online nodes),
+        restricted to nodes not already compromised so stacked plans
+        compose instead of silently re-flipping the same victims."""
+        nodes = list(self.targets.nodes())
+        eligible = [n for n in nodes if n.online
+                    and getattr(n, "adversary", None) is None]
+        if not eligible:
+            return
+        rng = self.sim.rng("faults")
+        k = max(1, int(round(ev.magnitude * len(eligible))))
+        k = min(k, len(eligible))
+        idx = sorted(int(i) for i in
+                     rng.choice(len(eligible), size=k, replace=False))
+        victims = [eligible[i] for i in idx]
+        for node in victims:
+            node.set_adversary(Adversary(ev.kind, node.pna_id))
+        self._note_disruption()
+        if ev.duration_s > 0.0:
+            ids = tuple(n.pna_id for n in victims)
+            self.sim.call_at(self.sim.now + ev.duration_s,
+                             self._restore_adversaries, (ev.kind, ids))
+
+    _fire_saboteur = _fire_adversary
+    _fire_free_rider = _fire_adversary
+    _fire_straggler = _fire_adversary
+    _fire_heartbeat_spoof = _fire_adversary
+
+    def _restore_adversaries(self, kind_ids) -> None:
+        kind, ids = kind_ids
+        wanted = set(ids)
+        restored = 0
+        for node in self.targets.nodes():
+            adv = getattr(node, "adversary", None)
+            if node.pna_id in wanted and adv is not None \
+                    and adv.kind == kind:
+                node.clear_adversary()
+                restored += 1
+        if restored:
+            self._restored(kind, count=restored)
 
     def _restore_storm(self, ids) -> None:
         restored = 0

@@ -32,17 +32,32 @@ kind                    semantics (``duration_s`` / ``magnitude`` use)
 ``churn_storm``         Correlated mass power-off of a ``magnitude``
                         fraction of online nodes; survivors that are still
                         offline return after ``duration_s``.
+``saboteur``            A ``magnitude`` fraction of online nodes turn
+                        Byzantine: correct accounting, wrong result
+                        digests.  ``duration_s`` 0 = permanent.
+``free_rider``          Same selection; victims claim tasks without
+                        computing them (instant fabricated results).
+``straggler``           Same selection; victims compute honestly but
+                        10x slower (caught by leases, not voting).
+``heartbeat_spoof``     Same selection; victims' DVEs die but their
+                        heartbeats keep reporting BUSY — census zombies.
 ======================  =====================================================
 
 Plan DSL
 --------
 
 ``--faults`` accepts a preset name (``demo``, ``storm``, ``blackout``,
-``none``) or a plan literal: events separated by ``;``, each event
-``kind@TIME`` with optional ``,dur=SECONDS``, ``,mag=X``,
-``,jitter=SECONDS`` and ``,target=ID`` fields, e.g.::
+``sabotage``, ``none``) or a plan literal: events separated by ``;``,
+each event ``kind@TIME`` with optional ``,dur=SECONDS``, ``,mag=X``,
+``,jitter=SECONDS``, ``,target=ID`` and ``,id=NAME`` fields, e.g.::
 
     controller_crash@150,dur=90;churn_storm@400,mag=0.4,dur=200
+
+``id`` names an event for logs and cross-references; ids must be
+unique within a plan, and two events of the same kind aimed at the
+same target must not have overlapping ``[time, time+jitter+dur)``
+windows — both are rejected at parse time with the offending events
+named, instead of silently double-firing.
 
 ``jitter`` adds a uniform ``[0, jitter)`` offset drawn from the
 dedicated ``"faults"`` RNG stream, so stochastic timing stays inside
@@ -63,7 +78,8 @@ from typing import Iterator, Optional, Tuple, Union
 from repro.errors import FaultPlanError
 
 __all__ = [
-    "KINDS", "PRESETS", "FaultEvent", "FaultPlan", "parse_fault_plan",
+    "ADVERSARY_FAULT_KINDS", "KINDS", "PRESETS", "FaultEvent", "FaultPlan",
+    "parse_fault_plan",
     "install_plan", "uninstall_plan", "current_plan", "active_plan",
 ]
 
@@ -77,7 +93,16 @@ KINDS = (
     "carousel_interrupt",
     "signature_corruption",
     "churn_storm",
+    "saboteur",
+    "free_rider",
+    "straggler",
+    "heartbeat_spoof",
 )
+
+#: Kinds that flip a fraction of nodes into adversarial behaviour
+#: (handled by :mod:`repro.certify.adversary` profiles).
+ADVERSARY_FAULT_KINDS = (
+    "saboteur", "free_rider", "straggler", "heartbeat_spoof")
 
 
 @dataclass(frozen=True)
@@ -110,6 +135,10 @@ class FaultEvent:
         (``dtv`` matches ``dtv.broadcast``).  Single-network systems
         have one eligible controller/channel, so the selector
         degenerates to the historical behaviour.
+    event_id:
+        Optional unique name for the event (DSL field ``id=``) —
+        surfaces in traces/errors; duplicates are rejected at plan
+        construction.
     """
 
     kind: str
@@ -118,6 +147,7 @@ class FaultEvent:
     magnitude: float = 0.0
     jitter_s: float = 0.0
     target: str = ""
+    event_id: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -145,6 +175,17 @@ class FaultEvent:
             raise FaultPlanError(
                 "signature_corruption needs duration_s > 0 (a zero-length "
                 "corruption window would be a no-op)")
+        if self.kind in ADVERSARY_FAULT_KINDS \
+                and not 0.0 < self.magnitude <= 1.0:
+            raise FaultPlanError(
+                f"{self.kind} magnitude is the adversarial fraction and "
+                f"must be in (0, 1], got {self.magnitude}")
+
+    @property
+    def window(self) -> Tuple[float, float]:
+        """Worst-case activity window ``[start, end)``: declared time
+        through the jittered start plus the outage duration."""
+        return (self.time, self.time + self.jitter_s + self.duration_s)
 
     def describe(self) -> str:
         """Round-trippable DSL token for this event."""
@@ -157,6 +198,8 @@ class FaultEvent:
             parts.append(f"jitter={self.jitter_s:g}")
         if self.target:
             parts.append(f"target={self.target}")
+        if self.event_id:
+            parts.append(f"id={self.event_id}")
         return ",".join(parts)
 
 
@@ -178,6 +221,41 @@ class FaultPlan:
             if not isinstance(ev, FaultEvent):
                 raise FaultPlanError(
                     f"FaultPlan events must be FaultEvent, got {type(ev)!r}")
+        # Two silent-footgun shapes are rejected outright:
+        # duplicate ids (cross-references would be ambiguous) and
+        # overlapping windows of the same kind aimed at the same target
+        # (the second firing stomps the first's restore timer).
+        seen_ids: dict = {}
+        by_key: dict = {}
+        for i, ev in enumerate(self.events):
+            if ev.event_id:
+                dup = seen_ids.get(ev.event_id)
+                if dup is not None:
+                    raise FaultPlanError(
+                        f"duplicate fault event id {ev.event_id!r} on "
+                        f"events #{dup + 1} ({self.events[dup].describe()}) "
+                        f"and #{i + 1} ({ev.describe()}); give each event "
+                        f"a unique id= or drop the field")
+                seen_ids[ev.event_id] = i
+            start, end = ev.window
+            if end <= start:
+                continue  # instantaneous events never overlap
+            key = (ev.kind, ev.target)
+            for j in by_key.get(key, ()):
+                other = self.events[j]
+                o_start, o_end = other.window
+                if o_end <= o_start:
+                    continue
+                if start < o_end and o_start < end:
+                    scope = f" target={ev.target!r}" if ev.target \
+                        else " (no target — both hit every eligible one)"
+                    raise FaultPlanError(
+                        f"overlapping {ev.kind} windows{scope}: event "
+                        f"#{j + 1} ({other.describe()}) spans "
+                        f"[{o_start:g}, {o_end:g}) and event #{i + 1} "
+                        f"({ev.describe()}) spans [{start:g}, {end:g}); "
+                        f"stagger their times or scope them with target=")
+            by_key.setdefault(key, []).append(i)
 
     def describe(self) -> str:
         """Human/CLI description: the preset name or the DSL literal."""
@@ -200,11 +278,17 @@ PRESETS = {
     "blackout": ("controller_crash@120,dur=60;"
                  "carousel_interrupt@150,mag=3,dur=60;"
                  "signature_corruption@400,dur=45"),
+    # Byzantine tour: a permanent saboteur cohort from t=1, free riders
+    # joining later, and a straggler wave that leases must absorb.
+    "sabotage": ("saboteur@1,mag=0.3,id=sab;"
+                 "free_rider@200,mag=0.1,id=fr;"
+                 "straggler@400,mag=0.1,dur=300,id=slow"),
     "none": "",
 }
 
 _FIELD_KEYS = {"dur": "duration_s", "mag": "magnitude",
-               "jitter": "jitter_s", "target": "target"}
+               "jitter": "jitter_s", "target": "target",
+               "id": "event_id"}
 
 
 def _parse_event(token: str) -> FaultEvent:
@@ -229,7 +313,7 @@ def _parse_event(token: str) -> FaultEvent:
                     f"unknown fault field {item!r} in {token!r}; "
                     f"expected one of {sorted(_FIELD_KEYS)}")
             attr = _FIELD_KEYS[key]
-            if attr == "target":
+            if attr in ("target", "event_id"):
                 fields[attr] = value.strip()
             else:
                 try:
@@ -247,7 +331,8 @@ def parse_fault_plan(
 
     ``None`` stays ``None`` (faults disabled, zero overhead); a
     :class:`FaultPlan` passes through; a string is looked up in
-    :data:`PRESETS` first and otherwise parsed as a plan literal."""
+    :data:`PRESETS` (``demo``, ``storm``, ``blackout``, ``sabotage``,
+    ``none``) first and otherwise parsed as a plan literal."""
     if spec is None:
         return None
     if isinstance(spec, FaultPlan):

@@ -1,0 +1,57 @@
+"""Adversary behaviour profiles: digests, timing, collusion."""
+
+import pytest
+
+from repro.certify import ADVERSARY_KINDS, Adversary, FREE_RIDER_SECONDS
+from repro.errors import FaultPlanError
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(FaultPlanError):
+        Adversary("vandal", "pna-1")
+
+
+def test_bad_slowdown_rejected():
+    with pytest.raises(FaultPlanError):
+        Adversary("straggler", "pna-1", slowdown=0.0)
+
+
+def test_saboteur_fabricates_deterministic_negative_digests():
+    adv = Adversary("saboteur", "pna-3")
+    d = adv.digest(7)
+    assert d is not None and d < 0
+    assert adv.digest(7) == d          # deterministic per task
+    assert adv.digest(8) != d          # distinct per task
+    assert adv.compute_seconds(12.0) == 12.0  # honest timing
+
+
+def test_saboteurs_disagree_unless_colluding():
+    a = Adversary("saboteur", "pna-1")
+    b = Adversary("saboteur", "pna-2")
+    assert a.digest(5) != b.digest(5)
+    ca = Adversary("saboteur", "pna-1", collude=True)
+    cb = Adversary("saboteur", "pna-2", collude=True)
+    assert ca.digest(5) == cb.digest(5)
+
+
+def test_salt_is_stable_across_instances():
+    # crc32, not randomized str hash: two processes agree.
+    assert (Adversary("saboteur", "pna-1").salt
+            == Adversary("saboteur", "pna-1").salt)
+
+
+def test_free_rider_skips_the_work():
+    adv = Adversary("free_rider", "pna-4")
+    assert adv.compute_seconds(120.0) == FREE_RIDER_SECONDS
+    assert adv.digest(3) < 0
+
+
+def test_straggler_is_slow_but_honest():
+    adv = Adversary("straggler", "pna-5", slowdown=10.0)
+    assert adv.compute_seconds(4.0) == 40.0
+    assert adv.digest(3) is None
+
+
+def test_every_kind_constructible():
+    for kind in ADVERSARY_KINDS:
+        Adversary(kind, "pna-0")

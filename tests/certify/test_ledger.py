@@ -1,0 +1,54 @@
+"""CredibilityLedger: the per-node trust arithmetic."""
+
+from repro.certify import CredibilityLedger
+
+
+def test_unknown_node_has_initial_credibility():
+    ledger = CredibilityLedger(initial=0.5)
+    assert ledger.credibility("pna-9") == 0.5
+    assert ledger.bad_count("pna-9") == 0
+
+
+def test_good_outcomes_halve_the_distance_to_one():
+    ledger = CredibilityLedger(initial=0.5)
+    assert ledger.record_good("a") == 0.75
+    assert ledger.record_good("a") == 0.875
+    assert ledger.record_good("a") == 0.9375
+    assert ledger.credibility("a") == 0.9375
+
+
+def test_bad_outcomes_multiply_down_and_count():
+    ledger = CredibilityLedger(initial=0.5, penalty=0.25)
+    assert ledger.record_bad("a") == 1
+    assert ledger.credibility("a") == 0.125
+    assert ledger.record_bad("a") == 2
+    assert ledger.credibility("a") == 0.03125
+    assert ledger.bad_count("a") == 2
+
+
+def test_timeouts_decay_mildly_without_bad_count():
+    ledger = CredibilityLedger(initial=0.5)
+    ledger.record_timeout("a")
+    assert ledger.credibility("a") == 0.45
+    assert ledger.bad_count("a") == 0
+
+
+def test_redemption_is_possible_but_slow():
+    # A punished node can climb back above its starting point.
+    ledger = CredibilityLedger(initial=0.5, penalty=0.25)
+    ledger.record_bad("a")
+    for _ in range(4):
+        ledger.record_good("a")
+    assert ledger.credibility("a") > 0.5
+    assert ledger.bad_count("a") == 1  # the record never forgets
+
+
+def test_known_nodes_sorted_and_snapshot():
+    ledger = CredibilityLedger(initial=0.5)
+    ledger.record_good("b")
+    ledger.record_bad("a")
+    assert ledger.known_nodes() == ["a", "b"]
+    snap = {pna: (cred, bad) for pna, cred, bad in ledger.snapshot()}
+    assert set(snap) == {"a", "b"}
+    assert snap["b"] == (0.75, 0)
+    assert snap["a"][1] == 1

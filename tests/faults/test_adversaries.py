@@ -1,0 +1,81 @@
+"""Adversary fault kinds through the injector: flips, restores, zombies."""
+
+from repro.certify import Adversary
+from repro.core import OddCISystem
+from repro.core.messages import PNAState
+from repro.faults import active_plan, parse_fault_plan
+from repro.workloads import uniform_bag
+
+
+def test_saboteur_window_flips_a_fraction_then_restores():
+    plan = parse_fault_plan("saboteur@5,dur=30,mag=0.5")
+    with active_plan(plan):
+        system = OddCISystem(seed=3)
+    system.add_pnas(8, heartbeat_interval_s=10.0)
+    system.sim.run(until=10.0)
+    flipped = [p for p in system.pnas if p.adversary is not None]
+    assert len(flipped) == 4                       # round(0.5 * 8)
+    assert all(p.adversary.kind == "saboteur" for p in flipped)
+    system.sim.run(until=40.0)
+    # Window over: every node honest again.
+    assert all(p.adversary is None for p in system.pnas)
+
+
+def test_adversary_victims_are_seed_deterministic():
+    def victims(seed):
+        plan = parse_fault_plan("saboteur@5,dur=10,mag=0.5")
+        with active_plan(plan):
+            system = OddCISystem(seed=seed)
+        system.add_pnas(8, heartbeat_interval_s=10.0)
+        system.sim.run(until=6.0)
+        return tuple(sorted(
+            p.pna_id for p in system.pnas if p.adversary is not None))
+
+    assert victims(7) == victims(7)
+
+
+def test_stacked_windows_do_not_reflip_compromised_nodes():
+    # Two saboteur waves: the second only recruits from honest nodes,
+    # so together they cover 6 distinct victims out of 8.
+    plan = parse_fault_plan("saboteur@5,dur=100,mag=0.5;"
+                            "free_rider@10,dur=100,mag=0.25")
+    with active_plan(plan):
+        system = OddCISystem(seed=11)
+    system.add_pnas(8, heartbeat_interval_s=10.0)
+    system.sim.run(until=20.0)
+    kinds = [p.adversary.kind for p in system.pnas
+             if p.adversary is not None]
+    assert sorted(kinds) == ["free_rider", "saboteur", "saboteur",
+                             "saboteur", "saboteur"]
+
+
+def test_heartbeat_spoof_zombie_holds_census_slot_while_dve_is_dead():
+    system = OddCISystem(seed=5, maintenance_interval_s=50.0)
+    system.add_pnas(3, heartbeat_interval_s=10.0, dve_poll_interval_s=5.0)
+    job = uniform_bag(30, image_bits=1e6, ref_seconds=20.0)
+    submission = system.provider.submit_job(
+        job, target_size=3, heartbeat_interval_s=10.0,
+        lease_factor=3.0, release_on_completion=False)
+    system.sim.run(until=30.0)
+    record = system.controller.instance(submission.instance_id)
+    assert record.size == 3
+
+    victim = next(p for p in system.pnas if p.state is PNAState.BUSY)
+    victim.set_adversary(Adversary("heartbeat_spoof", victim.pna_id))
+    # The client loop died on the spot but the node still claims BUSY.
+    assert victim.dve is None
+    assert victim.state is PNAState.BUSY
+
+    system.sim.run(until=100.0)
+    # Zombie heartbeats keep the census slot occupied: the Controller
+    # cannot tell the dead DVE from a slow one.
+    assert record.size == 3
+    assert victim.state is PNAState.BUSY and victim.dve is None
+
+    victim.clear_adversary()
+    # Nothing runs behind the facade; the node goes honest-idle...
+    assert victim.state is PNAState.IDLE
+    # ...and maintenance re-recruits it, so the job still finishes.
+    report = system.provider.run_job_to_completion(submission, limit_s=1e7)
+    assert report.n_tasks == 30
+    assert submission.backend.done

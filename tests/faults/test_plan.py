@@ -80,8 +80,10 @@ def test_malformed_plans_raise(bad):
 
 
 def test_every_kind_is_constructible():
+    fractional = ("link_down", "churn_storm",
+                  "saboteur", "free_rider", "straggler", "heartbeat_spoof")
     for kind in KINDS:
-        mag = 0.5 if kind in ("link_down", "churn_storm") else 2.0
+        mag = 0.5 if kind in fractional else 2.0
         ev = FaultEvent(kind, 10.0, duration_s=5.0, magnitude=mag)
         assert ev.kind == kind
 
@@ -129,3 +131,65 @@ def test_fault_errors_share_the_oddci_branch():
     assert issubclass(SignatureError, NetworkError)
     assert LinkDownError.__mro__.index(NetworkError) < \
         LinkDownError.__mro__.index(FaultError)
+
+
+# -- conflict validation (satellite: reject ambiguous/overlapping plans) ------
+
+def test_duplicate_event_ids_rejected_naming_both_events():
+    with pytest.raises(FaultPlanError) as exc:
+        parse_fault_plan("broadcast_outage@10,dur=5,id=x;"
+                         "controller_crash@40,dur=5,id=x")
+    message = str(exc.value)
+    assert "duplicate fault event id 'x'" in message
+    # Actionable: the message points at both offending events.
+    assert "#1" in message and "#2" in message
+    assert "broadcast_outage" in message and "controller_crash" in message
+
+
+def test_distinct_event_ids_are_fine():
+    plan = parse_fault_plan("broadcast_outage@10,dur=5,id=a;"
+                            "controller_crash@40,dur=5,id=b")
+    assert [ev.event_id for ev in plan.events] == ["a", "b"]
+
+
+def test_overlapping_same_kind_windows_rejected_with_spans():
+    with pytest.raises(FaultPlanError) as exc:
+        parse_fault_plan("broadcast_outage@10,dur=20;"
+                         "broadcast_outage@20,dur=5")
+    message = str(exc.value)
+    assert "overlapping broadcast_outage windows" in message
+    assert "[10, 30)" in message and "[20, 25)" in message
+    assert "stagger" in message
+
+
+def test_jitter_widens_the_conflict_window():
+    # [10, 10+5+10) = [10, 25) overlaps [20, 25): jitter counts.
+    with pytest.raises(FaultPlanError, match="overlapping"):
+        parse_fault_plan("broadcast_outage@10,dur=5,jitter=10;"
+                         "broadcast_outage@20,dur=5")
+
+
+def test_touching_windows_do_not_overlap():
+    plan = parse_fault_plan("broadcast_outage@10,dur=5;"
+                            "broadcast_outage@15,dur=5")
+    assert len(plan.events) == 2
+
+
+def test_instantaneous_events_never_conflict():
+    # Zero-length events at the same instant are a legal double-tap.
+    plan = parse_fault_plan("carousel_interrupt@10,mag=2;"
+                            "carousel_interrupt@10,mag=3")
+    assert len(plan.events) == 2
+
+
+def test_distinct_targets_do_not_conflict():
+    plan = parse_fault_plan(
+        "churn_storm@10,dur=20,mag=0.4,target=pna-1;"
+        "churn_storm@15,dur=20,mag=0.4,target=pna-2")
+    assert len(plan.events) == 2
+
+
+def test_distinct_kinds_may_overlap():
+    plan = parse_fault_plan("broadcast_outage@10,dur=20;"
+                            "controller_crash@15,dur=20")
+    assert len(plan.events) == 2

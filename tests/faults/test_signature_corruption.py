@@ -43,3 +43,48 @@ def test_corruption_window_restores_exactly():
     assert system.controller.corrupting_signatures
     system.sim.run(until=66.0)
     assert not system.controller.corrupting_signatures
+
+
+# -- carousel re-join window (satellite: refusal must retry, not drop) --------
+
+def test_dtv_xlet_retries_tampered_control_instead_of_consuming_it():
+    """A PNA that rejects a corrupted control message during a carousel
+    re-join window keeps retrying the same config version on every
+    repetition — the instance is delayed, not permanently short."""
+    from repro.dtv_oddci import OddCIDTVSystem
+    from repro.net.message import MEGABYTE, bits_from_bytes
+
+    system = OddCIDTVSystem(beta_bps=1_000_000.0,
+                            maintenance_interval_s=100.0, seed=13,
+                            pna_xlet_bits=bits_from_bytes(64 * 1024))
+    system.add_receivers(1, heartbeat_interval_s=50.0,
+                         dve_poll_interval_s=10.0)
+    system.sim.run(until=60.0)
+    xlet = system.boxes[0].app_manager.running_xlet(777)
+    pna = xlet.pna
+    assert pna.online
+    consumed = xlet._last_config_version
+
+    # The wakeup goes out through the carousel with a tampered tag.
+    system.controller.corrupt_signatures(True)
+    job = uniform_bag(10, image_bits=1 * MEGABYTE, ref_seconds=100.0)
+    submission = system.provider.submit_job(
+        job, target_size=1, heartbeat_interval_s=50.0)
+    system.sim.run(until=260.0)
+
+    record = system.controller.instance(submission.instance_id)
+    assert record.size == 0
+    # More drops than tampered publishes pins the retry: a loop that
+    # consumed the version on first refusal would count exactly one
+    # drop per publish (one per maintenance re-wakeup here).
+    corrupted = system.controller.counters["signatures_corrupted"]
+    assert pna.dropped_bad_signature > corrupted >= 1
+    assert xlet._last_config_version == consumed
+
+    # The stored file's tag stays tampered forever; recovery rides the
+    # next clean maintenance republish, which the xlet still accepts
+    # because the refused version was never marked consumed.
+    system.controller.corrupt_signatures(False)
+    system.sim.run(until=600.0)
+    assert record.size == 1
+    assert xlet._last_config_version > consumed
