@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test experiments bench bench-quick bench-floor trace-demo \
-	faults-smoke federation-smoke serve-smoke certify-smoke
+	faults-smoke federation-smoke serve-smoke certify-smoke vector-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -75,6 +75,17 @@ certify-smoke:
 		tests/faults/test_plan.py tests/faults/test_signature_corruption.py -q
 	REPRO_TASK_PATH=process $(PYTHON) -m pytest tests/certify \
 		tests/faults/test_adversaries.py -q
+
+# Vector-tier parity smoke: the columnar system/fault-mask/telemetry
+# suites, the event-vs-vector agreement suite, the vector_scale
+# scenario through the parallel runner, and the throughput floor at
+# reduced scale (DESIGN.md §16).
+vector-smoke:
+	$(PYTHON) -m pytest tests/vector tests/faults/test_masks.py \
+		tests/test_tier_agreement.py -q
+	$(PYTHON) -m repro vector_scale --smoke --jobs 2
+	REPRO_FLOOR_SCALE=100000 $(PYTHON) -m pytest \
+		benchmarks/test_vector_floor.py -q --run-perf
 
 # Request-driven service tier smoke: both serve scenarios through the
 # parallel runner, the serve unit/fault suites, and the warm-pool perf

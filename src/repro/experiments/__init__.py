@@ -10,6 +10,7 @@
 | F7 | Figure 7  | :func:`~repro.experiments.fig7.run_fig7` |
 | A1–A6 | ablations | :mod:`~repro.experiments.ablations` |
 | S  | scalability | :func:`~repro.experiments.scalability.run_scalability` |
+| VS | vector scale | :func:`~repro.experiments.vector_scale.run_vector_scale` |
 | FS | fault sweep | :func:`~repro.experiments.fault_sweep.run_fault_sweep` |
 | FD | federation | :func:`~repro.experiments.federation_sweep.run_federation_sweep` |
 | SV | service tier | :func:`~repro.experiments.service_sweep.run_service_sweep` |
@@ -84,6 +85,12 @@ from repro.experiments.scalability import (
     run_scalability,
 )
 from repro.experiments.table1 import point_table1, render_table1, run_table1
+from repro.experiments.vector_scale import (
+    point_vector_scale,
+    render_vector_scale,
+    run_vector_scale,
+    storm_plan,
+)
 from repro.experiments.table2 import (
     TABLE2_CONFIGS,
     point_table2,
@@ -121,6 +128,8 @@ __all__ = [
     "point_replication", "point_plane_comparison",
     "render_ablation",
     "run_scalability", "render_scalability", "point_scalability",
+    "run_vector_scale", "render_vector_scale", "point_vector_scale",
+    "storm_plan",
     "run_fault_sweep", "render_fault_sweep", "point_fault_sweep",
     "finalize_fault_sweep", "fault_plan_for_intensity",
     "run_federation_sweep", "render_federation_sweep",

@@ -15,7 +15,7 @@ efficiency for practical applications.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 
@@ -28,10 +28,11 @@ from repro.analysis.report import render_series
 from repro.analysis.sweep import grid_points
 from repro.net.message import KILOBYTE, MEGABYTE
 from repro.runner.scenario import Scenario, register
-from repro.vector.population import VectorOddCI, VectorPopulation
+from repro.vector.system import VectorJobReport, VectorOddCISystem
 from repro.workloads.bot import bag_from_phi
 
-__all__ = ["PHI_GRID", "RATIOS", "point_fig6", "run_fig6", "render_fig6"]
+__all__ = ["PHI_GRID", "RATIOS", "VECTOR_API", "simulate_point",
+           "point_fig6", "run_fig6", "render_fig6"]
 
 #: Φ sample points (log-spaced, 10⁰ .. 10⁵).
 PHI_GRID = tuple(float(v) for v in np.logspace(0, 5, 11))
@@ -42,6 +43,32 @@ IMAGE_BITS = 10 * MEGABYTE
 IO_BITS = float(KILOBYTE)
 PARAMS = OddCIParameters(beta_bps=1_000_000.0, delta_bps=150_000.0)
 
+#: Which vector-tier path the cross-checks run through; recorded in the
+#: artifact metadata (the scenarios' ``fixed`` dict) so an artifact says
+#: which implementation produced its ``*_sim`` columns.
+VECTOR_API = "system"
+
+
+def simulate_point(phi: float, ratio: int, n_nodes: int,
+                   seed: int) -> VectorJobReport:
+    """One Figure 6/7 cross-check job through the persistent-system API.
+
+    The analytic model defines p on the node itself ("a reference
+    set-top box"), so the population uses the reference profile (device
+    factor 1.0); randomness goes through the system's named
+    ``vector.*`` streams, keeping runner points byte-identical at any
+    ``--jobs`` value.
+    """
+    from repro.workloads.devices import REFERENCE_PC
+
+    system = VectorOddCISystem(
+        max(4 * n_nodes, 1000), seed=seed, in_use_fraction=1.0,
+        profile=REFERENCE_PC,
+        beta_bps=PARAMS.beta_bps, delta_bps=PARAMS.delta_bps)
+    job = bag_from_phi(ratio * n_nodes, phi, delta_bps=PARAMS.delta_bps,
+                       io_bits=IO_BITS, image_bits=IMAGE_BITS)
+    return system.run_job(job, target_size=n_nodes)
+
 
 def point_fig6(
     ratio: int,
@@ -49,11 +76,17 @@ def point_fig6(
     *,
     sim_nodes: int = 200,
     sim_ratios: tuple = (10, 100),
+    vector_api: str = VECTOR_API,
     seed: int = 0,
 ) -> Dict[str, float]:
     """Result fields for one (n/N, Φ) grid point: the Equation 2
     efficiency, plus the vector-simulated efficiency when ``ratio`` is
-    in ``sim_ratios``."""
+    in ``sim_ratios``.  ``vector_api`` is metadata-only: it flows from
+    the scenario's ``fixed`` dict into the artifact so results say which
+    vector-tier path produced them (only ``"system"`` is implemented).
+    """
+    if vector_api != VECTOR_API:
+        raise ValueError(f"unknown vector_api {vector_api!r}")
     p = p_from_phi(phi, IO_BITS, PARAMS.delta_bps)
     n_tasks = ratio * sim_nodes
     analytic = efficiency_model(
@@ -61,7 +94,8 @@ def point_fig6(
         io_bits=IO_BITS, p_seconds=p, params=PARAMS)
     result: Dict[str, float] = {"efficiency_analytic": analytic}
     if ratio in sim_ratios:
-        result["efficiency_sim"] = _simulate(phi, ratio, sim_nodes, seed)
+        result["efficiency_sim"] = simulate_point(
+            phi, ratio, sim_nodes, seed).efficiency
     return result
 
 
@@ -81,24 +115,6 @@ def run_fig6(
                                  **params))
         records.append(record)
     return records
-
-
-def _simulate(phi: float, ratio: int, n_nodes: int, seed: int) -> float:
-    # The analytic model defines p on the node itself ("a reference
-    # set-top box"), so the cross-check population uses the reference
-    # profile (device factor 1.0).
-    from repro.workloads.devices import REFERENCE_PC
-
-    pop = VectorPopulation(
-        max(4 * n_nodes, 1000), np.random.default_rng(seed),
-        in_use_fraction=1.0, profile=REFERENCE_PC)
-    system = VectorOddCI(pop, beta_bps=PARAMS.beta_bps,
-                         delta_bps=PARAMS.delta_bps)
-    job = bag_from_phi(ratio * n_nodes, phi, delta_bps=PARAMS.delta_bps,
-                       io_bits=IO_BITS, image_bits=IMAGE_BITS)
-    result = system.run_job(job, target_size=n_nodes)
-    # Normalise to the reference device (the analytic model's node).
-    return result.efficiency
 
 
 def render_fig6(records: List[Dict[str, float]]) -> str:
@@ -137,7 +153,9 @@ register(Scenario(
     point=point_fig6,
     renderer=render_fig6,
     grid={"ratio": RATIOS, "phi": PHI_GRID},
-    fixed={"sim_nodes": 200, "sim_ratios": (10, 100)},
+    fixed={"sim_nodes": 200, "sim_ratios": (10, 100),
+           "vector_api": VECTOR_API},
     smoke_grid={"ratio": (1, 10, 100), "phi": PHI_GRID[::5]},
-    smoke_fixed={"sim_nodes": 60, "sim_ratios": (10,)},
+    smoke_fixed={"sim_nodes": 60, "sim_ratios": (10,),
+                 "vector_api": VECTOR_API},
 ))

@@ -13,20 +13,19 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-import numpy as np
-
-from repro.analysis.models import (
-    OddCIParameters,
-    makespan_model,
-    p_from_phi,
-)
+from repro.analysis.models import makespan_model, p_from_phi
 from repro.analysis.report import format_seconds, render_series
 from repro.analysis.sweep import grid_points
-from repro.experiments.fig6 import IMAGE_BITS, IO_BITS, PARAMS, PHI_GRID, RATIOS
-from repro.net.message import KILOBYTE, MEGABYTE
+from repro.experiments.fig6 import (
+    IMAGE_BITS,
+    IO_BITS,
+    PARAMS,
+    PHI_GRID,
+    RATIOS,
+    VECTOR_API,
+    simulate_point,
+)
 from repro.runner.scenario import Scenario, register
-from repro.vector.population import VectorOddCI, VectorPopulation
-from repro.workloads.bot import bag_from_phi
 
 __all__ = ["point_fig7", "run_fig7", "render_fig7"]
 
@@ -37,10 +36,14 @@ def point_fig7(
     *,
     sim_nodes: int = 200,
     sim_ratios: tuple = (10, 100),
+    vector_api: str = VECTOR_API,
     seed: int = 0,
 ) -> Dict[str, float]:
     """Result fields for one (n/N, Φ) point: Equation 1 makespan, plus
-    the vector-simulated makespan for ratios in ``sim_ratios``."""
+    the vector-simulated makespan for ratios in ``sim_ratios``.
+    ``vector_api`` is artifact metadata (see ``fig6.point_fig6``)."""
+    if vector_api != VECTOR_API:
+        raise ValueError(f"unknown vector_api {vector_api!r}")
     p = p_from_phi(phi, IO_BITS, PARAMS.delta_bps)
     n_tasks = ratio * sim_nodes
     analytic = makespan_model(
@@ -48,7 +51,8 @@ def point_fig7(
         io_bits=IO_BITS, p_seconds=p, params=PARAMS)
     result: Dict[str, float] = {"makespan_analytic_s": analytic}
     if ratio in sim_ratios:
-        result["makespan_sim_s"] = _simulate(phi, ratio, sim_nodes, seed)
+        result["makespan_sim_s"] = simulate_point(
+            phi, ratio, sim_nodes, seed).makespan_s
     return result
 
 
@@ -67,21 +71,6 @@ def run_fig7(
                                  **params))
         records.append(record)
     return records
-
-
-def _simulate(phi: float, ratio: int, n_nodes: int, seed: int) -> float:
-    # Reference-profile nodes: the analytic p is defined on the node
-    # itself (see fig6._simulate).
-    from repro.workloads.devices import REFERENCE_PC
-
-    pop = VectorPopulation(
-        max(4 * n_nodes, 1000), np.random.default_rng(seed),
-        in_use_fraction=1.0, profile=REFERENCE_PC)
-    system = VectorOddCI(pop, beta_bps=PARAMS.beta_bps,
-                         delta_bps=PARAMS.delta_bps)
-    job = bag_from_phi(ratio * n_nodes, phi, delta_bps=PARAMS.delta_bps,
-                       io_bits=IO_BITS, image_bits=IMAGE_BITS)
-    return system.run_job(job, target_size=n_nodes).makespan_s
 
 
 def render_fig7(records: List[Dict[str, float]]) -> str:
@@ -113,7 +102,9 @@ register(Scenario(
     point=point_fig7,
     renderer=render_fig7,
     grid={"ratio": RATIOS, "phi": PHI_GRID},
-    fixed={"sim_nodes": 200, "sim_ratios": (10, 100)},
+    fixed={"sim_nodes": 200, "sim_ratios": (10, 100),
+           "vector_api": VECTOR_API},
     smoke_grid={"ratio": (1, 10, 100), "phi": PHI_GRID[::5]},
-    smoke_fixed={"sim_nodes": 60, "sim_ratios": (10,)},
+    smoke_fixed={"sim_nodes": 60, "sim_ratios": (10,),
+                 "vector_api": VECTOR_API},
 ))

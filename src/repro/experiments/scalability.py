@@ -13,12 +13,10 @@ from __future__ import annotations
 import time
 from typing import Dict, List
 
-import numpy as np
-
 from repro.analysis.report import format_seconds, format_si, render_table
 from repro.net.message import MEGABYTE
 from repro.runner.scenario import Scenario, register
-from repro.vector.population import VectorOddCI, VectorPopulation
+from repro.vector.system import VectorOddCISystem
 from repro.workloads.bot import uniform_bag
 
 __all__ = ["run_scalability", "point_scalability", "render_scalability",
@@ -41,8 +39,7 @@ def point_scalability(
     run's wall time in the artifact metadata instead.
     """
     n = nodes
-    pop = VectorPopulation(int(n * 1.2) + 10, np.random.default_rng(seed))
-    system = VectorOddCI(pop)
+    system = VectorOddCISystem(int(n * 1.2) + 10, seed=seed)
     job = uniform_bag(n * tasks_per_node, image_bits=8 * MEGABYTE,
                       ref_seconds=30.0)
     result = system.run_job(job, target_size=n)
@@ -52,6 +49,7 @@ def point_scalability(
         "wakeup_mean_s": result.wakeup_mean_s,
         "makespan_s": result.makespan_s,
         "efficiency": result.efficiency,
+        "availability": result.availability,
     }
 
 

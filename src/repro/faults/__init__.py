@@ -1,8 +1,10 @@
 """Deterministic fault injection: plans, the injector, and availability.
 
 See :mod:`repro.faults.plan` for the plan model and DSL,
-:mod:`repro.faults.injector` for how plans become kernel events, and
-DESIGN.md §10 for the fault taxonomy and recovery contract.
+:mod:`repro.faults.injector` for how plans become kernel events,
+:mod:`repro.faults.masks` for how the same plans compile to interval
+windows on the vector tier, and DESIGN.md §10 for the fault taxonomy
+and recovery contract.
 """
 
 from repro.faults.availability import (
@@ -10,6 +12,13 @@ from repro.faults.availability import (
     merged_size_series,
 )
 from repro.faults.injector import FaultInjector, FaultTargets
+from repro.faults.masks import (
+    CompiledFaultPlan,
+    FaultWindow,
+    compile_fault_plan,
+    deferred_start,
+    storm_victims,
+)
 from repro.faults.plan import (
     ADVERSARY_FAULT_KINDS,
     KINDS,
@@ -31,6 +40,11 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "FaultTargets",
+    "FaultWindow",
+    "CompiledFaultPlan",
+    "compile_fault_plan",
+    "deferred_start",
+    "storm_victims",
     "availability_fraction",
     "merged_size_series",
     "active_plan",

@@ -1,0 +1,239 @@
+"""Fault plans compiled into per-interval windows for the vector tier.
+
+The event tier turns a :class:`~repro.faults.plan.FaultPlan` into DES
+kernel callbacks (:mod:`repro.faults.injector`); at 10^7+ nodes there is
+no kernel, so the vector tier compiles the same plan into *windows* —
+``[start, end)`` intervals, each tagged with the population effect it
+has — and applies them as array masks over the population columns:
+
+* **compute outages** suspend task execution on a victim subset for the
+  window (``churn_storm``, ``link_down``, ``backend_crash``, and
+  ``link_flap`` expanded into its down phases);
+* **recruitment blackouts** defer wakeups that would land inside the
+  window (``broadcast_outage``, ``carousel_interrupt`` — which degrades
+  to a broadcast outage exactly as it does on carousel-less event-tier
+  systems — and ``signature_corruption``, during which PNAs reject the
+  wakeup messages);
+* **census outages** freeze the self-healing census (``controller_crash``
+  — the census reads zero until the window closes, matching the
+  availability convention in :mod:`repro.faults.availability`).
+
+Jitter is resolved *at compile time, in plan declaration order*, from
+the caller-supplied generator — the same contract the event-tier
+injector follows, so a plan compiled twice from the same stream state
+yields identical windows.
+
+Adversary kinds (``saboteur`` etc.) model per-result behaviour the
+vector tier cannot express with capacity masks; compiling a plan that
+contains one raises :class:`~repro.errors.FaultPlanError` so the caller
+is pointed at the event tier instead of silently dropping the fault.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import FaultPlanError
+from repro.faults.plan import ADVERSARY_FAULT_KINDS, FaultPlan
+
+__all__ = [
+    "COMPUTE_OUTAGE_KINDS",
+    "RECRUITMENT_BLACKOUT_KINDS",
+    "CENSUS_OUTAGE_KINDS",
+    "FaultWindow",
+    "CompiledFaultPlan",
+    "compile_fault_plan",
+    "storm_victims",
+    "deferred_start",
+    "total_outage_span",
+    "active_fraction",
+]
+
+#: Kinds whose window suspends task execution on a victim fraction.
+COMPUTE_OUTAGE_KINDS = ("churn_storm", "link_down", "backend_crash")
+#: Kinds whose window blocks recruitment (wakeups defer past the end).
+RECRUITMENT_BLACKOUT_KINDS = (
+    "broadcast_outage", "carousel_interrupt", "signature_corruption")
+#: Kinds whose window freezes the census (gauges/availability read 0).
+CENSUS_OUTAGE_KINDS = ("controller_crash",)
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One compiled ``[start, end)`` disturbance interval.
+
+    ``fraction`` is the share of the eligible population the window
+    removes (compute outages; 1.0 for whole-fleet effects), already
+    resolved from the plan event's kind-specific ``magnitude``
+    convention.  ``end`` is ``inf`` for permanent faults
+    (``duration_s == 0``).
+    """
+
+    kind: str
+    start: float
+    end: float
+    fraction: float = 1.0
+    target: str = ""
+    event_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise FaultPlanError(
+                f"fault window must have end > start, got "
+                f"[{self.start}, {self.end})")
+
+    def overlaps(self, start: float, end: float) -> bool:
+        """Does the window intersect ``[start, end)``?"""
+        return self.start < end and start < self.end
+
+    def clipped(self, start: float, end: float) -> Tuple[float, float]:
+        """The window intersected with ``[start, end)``."""
+        return max(self.start, start), min(self.end, end)
+
+
+class CompiledFaultPlan:
+    """A fault plan lowered to windows, grouped by population effect."""
+
+    def __init__(self, windows: Tuple[FaultWindow, ...],
+                 name: str = "") -> None:
+        self.name = name
+        self.windows = tuple(sorted(windows, key=lambda w: w.start))
+
+    def __len__(self) -> int:
+        return len(self.windows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CompiledFaultPlan {self.name!r} windows={len(self)}>"
+
+    def _kinds(self, kinds) -> List[FaultWindow]:
+        return [w for w in self.windows if w.kind in kinds]
+
+    def compute_outages(self) -> List[FaultWindow]:
+        return self._kinds(COMPUTE_OUTAGE_KINDS)
+
+    def recruitment_blackouts(self) -> List[FaultWindow]:
+        return self._kinds(RECRUITMENT_BLACKOUT_KINDS)
+
+    def census_outages(self) -> List[FaultWindow]:
+        return self._kinds(CENSUS_OUTAGE_KINDS)
+
+
+def _window_end(start: float, duration_s: float) -> float:
+    return start + duration_s if duration_s > 0 else math.inf
+
+
+def compile_fault_plan(plan: FaultPlan,
+                       rng: np.random.Generator) -> CompiledFaultPlan:
+    """Lower ``plan`` into a :class:`CompiledFaultPlan`.
+
+    ``rng`` supplies the jitter draws (one ``uniform(0, jitter)`` per
+    jittered event, consumed in declaration order — mirror of the
+    event-tier injector's resolution rule, normally the population's
+    ``"vector.faults"`` stream).
+    """
+    windows: List[FaultWindow] = []
+    for event in plan.events:
+        if event.kind in ADVERSARY_FAULT_KINDS:
+            raise FaultPlanError(
+                f"fault kind {event.kind!r} models per-result adversarial "
+                "behaviour the vector tier cannot express as a capacity "
+                "mask; run adversary plans on the event tier")
+        start = event.time
+        if event.jitter_s > 0:
+            start += float(rng.uniform(0.0, event.jitter_s))
+        kind = event.kind
+        if kind == "link_flap":
+            # int(magnitude) down/up cycles, each phase duration_s long:
+            # expand into one link_down window per down phase.
+            cycles = max(1, int(event.magnitude))
+            phase = event.duration_s if event.duration_s > 0 else 1.0
+            for cycle in range(cycles):
+                down = start + 2 * cycle * phase
+                windows.append(FaultWindow(
+                    kind="link_down", start=down, end=down + phase,
+                    fraction=1.0, target=event.target,
+                    event_id=event.event_id))
+            continue
+        if kind == "carousel_interrupt":
+            # No carousel object at this tier: degrade to a broadcast
+            # outage of duration_s, the documented fallback.
+            windows.append(FaultWindow(
+                kind="broadcast_outage", start=start,
+                end=_window_end(start, event.duration_s),
+                target=event.target, event_id=event.event_id))
+            continue
+        if kind == "churn_storm":
+            fraction = event.magnitude
+        elif kind == "link_down":
+            # magnitude 0 partitions every link.
+            fraction = event.magnitude if event.magnitude > 0 else 1.0
+        else:
+            fraction = 1.0
+        windows.append(FaultWindow(
+            kind=kind, start=start, end=_window_end(start, event.duration_s),
+            fraction=fraction, target=event.target,
+            event_id=event.event_id))
+    return CompiledFaultPlan(tuple(windows), name=plan.name)
+
+
+def storm_victims(rng: np.random.Generator, size: int,
+                  fraction: float) -> np.ndarray:
+    """Boolean victim mask over a cohort of ``size`` nodes.
+
+    Victim count follows the event-tier injector's rule — ``k = max(1,
+    round(fraction * size))`` chosen without replacement — so the two
+    tiers remove statistically identical capacity.  A fraction >= 1
+    short-circuits to "everyone" without consuming a draw (whole-fleet
+    outages such as ``backend_crash``).
+    """
+    if size <= 0:
+        return np.zeros(0, dtype=bool)
+    if fraction >= 1.0:
+        return np.ones(size, dtype=bool)
+    k = min(size, max(1, int(round(fraction * size))))
+    mask = np.zeros(size, dtype=bool)
+    mask[rng.choice(size, size=k, replace=False)] = True
+    return mask
+
+
+def deferred_start(t: float,
+                   blackouts: List[FaultWindow]) -> float:
+    """Earliest instant >= ``t`` outside every recruitment blackout.
+
+    Mirrors the event tier's deferred-wakeup semantics: a wakeup that
+    would land inside an outage waits for the window to close (chained
+    windows defer transitively).
+    """
+    moved = True
+    while moved:
+        moved = False
+        for window in blackouts:
+            if window.start <= t < window.end:
+                if not math.isfinite(window.end):
+                    raise FaultPlanError(
+                        f"recruitment is blocked forever by permanent "
+                        f"{window.kind!r} window starting at "
+                        f"{window.start}")
+                t = window.end
+                moved = True
+    return t
+
+
+def total_outage_span(windows: List[FaultWindow],
+                      horizon: float) -> float:
+    """Sum of window lengths clipped to ``[0, horizon)`` — a safe upper
+    bound on per-node downtime for makespan search brackets."""
+    return float(sum(max(0.0, min(w.end, horizon) - max(w.start, 0.0))
+                     for w in windows))
+
+
+def active_fraction(windows: List[FaultWindow], t: float) -> float:
+    """Fraction of capacity removed at instant ``t`` (sum over active
+    windows, clipped at 1 — overlapping outages cannot remove more than
+    everything)."""
+    return min(1.0, sum(w.fraction for w in windows
+                        if w.start <= t < w.end))

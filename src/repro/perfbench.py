@@ -54,6 +54,7 @@ __all__ = [
     "run_dispatch_scenario",
     "run_federation_scenario",
     "run_serve_scenario",
+    "run_vector_scenario",
     "run_scales",
     "write_report",
     "main",
@@ -65,6 +66,7 @@ CENSUS_SCALES = (100_000,)
 DISPATCH_SCALES = (50_000,)
 FEDERATION_SCALES = (100_000,)
 SERVE_SCALES = (32,)
+VECTOR_SCALES = (100_000, 1_000_000, 10_000_000)
 
 #: Scenario constants — change these and old JSON is incomparable.
 SCENARIO = {
@@ -572,6 +574,58 @@ def run_serve_scenario(n_pnas: int, *, offered_rps: Optional[float] = None,
     }
 
 
+def run_vector_scenario(n_nodes: int, *, storm_magnitude: float = 0.3,
+                        seed: Optional[int] = None) -> Dict[str, float]:
+    """Vector-tier system throughput at ``n_nodes`` receivers.
+
+    Two sequential submissions against a persistent population (the
+    ``vector_scale`` scenario's shape): job 1 rides through a churn
+    storm (``storm_magnitude`` of the fleet for 200 s), job 2 runs
+    clean on the same clock.  The scored figure is ``nodes_per_sec`` —
+    recruited nodes fully simulated (wakeup sampling, fault masks,
+    census epochs, availability integration) per second of host wall
+    time — which the floor guard in ``benchmarks/test_vector_floor.py``
+    tracks.  The job is a constant-space :class:`~repro.workloads.bot.
+    BagSpec` so a 10⁷-node point does not materialise 10⁸ Task objects.
+    """
+    from repro.experiments.vector_scale import storm_plan
+    from repro.vector.system import VectorOddCISystem
+    from repro.workloads.bot import uniform_bag_spec
+
+    cfg = SCENARIO
+    with _gc_paused():
+        t0 = time.perf_counter()
+        system = VectorOddCISystem(
+            int(n_nodes * 1.25) + 10,
+            seed=cfg["seed"] if seed is None else seed,
+            plan=storm_plan(storm_magnitude))
+        job = uniform_bag_spec(
+            n_nodes * cfg["tasks_per_node"],
+            image_bits=8 * MEGABYTE, ref_seconds=30.0,
+            input_bits=cfg["input_bits"], result_bits=cfg["result_bits"])
+        build_wall_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        r1 = system.run_job(job, target_size=n_nodes)
+        r2 = system.run_job(job, target_size=n_nodes)
+        run_wall_s = time.perf_counter() - t0
+    recruited = r1.recruited + r2.recruited
+    return {
+        "nodes": n_nodes,
+        "recruited": recruited,
+        "storm_magnitude": storm_magnitude,
+        "makespan_1": round(r1.makespan_s, 3),
+        "makespan_2": round(r2.makespan_s, 3),
+        "availability_1": round(r1.availability, 4),
+        "availability_2": round(r2.availability, 4),
+        "efficiency_1": round(r1.efficiency, 4),
+        "sim_time": round(system.now, 3),
+        "build_wall_s": round(build_wall_s, 4),
+        "run_wall_s": round(run_wall_s, 4),
+        "wall_s": round(build_wall_s + run_wall_s, 4),
+        "nodes_per_sec": round(recruited / run_wall_s, 1),
+    }
+
+
 def run_scales(scales: List[int],
                kernel_scales: Optional[List[int]] = None,
                *, verbose: bool = True,
@@ -679,7 +733,34 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--serve-scales", type=int, nargs="+",
                         default=list(SERVE_SCALES),
                         help="serve-family fleet sizes (PNAs)")
+    parser.add_argument("--vector", action="store_true",
+                        help="measure the vector-tier system (persistent "
+                             "population, faults, census) instead of the "
+                             "scenario families")
+    parser.add_argument("--vector-scales", type=int, nargs="+",
+                        default=list(VECTOR_SCALES),
+                        help="vector-family fleet sizes (receivers)")
     args = parser.parse_args(argv)
+    if args.vector:
+        out = args.out if args.out != "BENCH_event_tier.json" \
+            else "BENCH_vector.json"
+        vector: Dict[str, dict] = {}
+        for n in args.vector_scales:
+            metrics = _maybe_profiled(args.profile, run_vector_scenario,
+                                      int(n))
+            vector[str(n)] = metrics
+            print(f"  vector n={n:>9}  "
+                  f"{metrics['nodes_per_sec']:>12.0f} nodes/s  "
+                  f"wall={metrics['wall_s']:.2f}s  "
+                  f"avail#1={metrics['availability_1']:.3f}  "
+                  f"makespan#1={metrics['makespan_1']:.0f}s")
+        if args.profile:
+            print(f"[profiled run: {out} left untouched]")
+        else:
+            write_report(out, {"vector": vector}, args.label,
+                         merge_into=out, benchmark="vector")
+            print(f"[written to {out}]")
+        return 0
     if args.serve:
         out = args.out if args.out != "BENCH_event_tier.json" \
             else "BENCH_serve.json"

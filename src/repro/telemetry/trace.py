@@ -22,6 +22,9 @@ fault      fault-plan injections and restores, recovery milestones
            (checkpoint/restore, MTTR, deferred control traffic)
 serve      service-tier request lifecycle (arrival, admission,
            rejection, pool hit/miss, ready, completion)
+vector     vector-tier job lifecycle (submit, recruit, outage
+           windows, census epochs, finish) — array-reduction
+           summaries, never per-node volume
 runner     experiment-runner markers (run/point boundaries)
 ========== ====================================================
 
@@ -91,13 +94,14 @@ __all__ = [
 #: Every known trace category, in canonical order.
 CATEGORIES: Tuple[str, ...] = (
     "kernel", "net", "carousel", "control", "pna", "backend", "fault",
-    "serve", "runner")
+    "serve", "vector", "runner")
 
 #: Enabled by a bare ``--trace``: everything except the per-dispatch
 #: ``kernel`` firehose and the per-message ``net`` drop log (opt in
 #: with ``--trace=all`` or an explicit list).
 DEFAULT_CATEGORIES: Tuple[str, ...] = (
-    "carousel", "control", "pna", "backend", "fault", "serve", "runner")
+    "carousel", "control", "pna", "backend", "fault", "serve", "vector",
+    "runner")
 
 #: One trace event: (sim_time, category, name, fields-or-None).
 TraceEvent = Tuple[float, str, str, Optional[Dict[str, Any]]]

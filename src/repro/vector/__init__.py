@@ -4,27 +4,41 @@ Provides the same wakeup + pull-execution semantics as the event tier,
 computed with NumPy over millions of nodes:
 
 * :class:`~repro.vector.population.VectorPopulation` — state arrays and
-  bulk recruitment.
-* :class:`~repro.vector.population.VectorOddCI` — full job pipeline
-  (carousel wakeup sampling → greedy pull execution → efficiency).
-* :mod:`~repro.vector.executor` — exact greedy-pull makespans
-  (water-filling for homogeneous bags, heap for the general case).
+  bulk recruitment, with the event tier's named RNG streams.
+* :class:`~repro.vector.system.VectorOddCISystem` — the event tier's
+  peer: persistent population, sequential multi-job submissions on one
+  clock, fault-plan windows, columnar census and telemetry.
+* :class:`~repro.vector.population.VectorOddCI` — legacy single-shot
+  job pipeline (carousel wakeup sampling → greedy pull execution →
+  efficiency).
+* :mod:`~repro.vector.executor` — greedy-pull makespans (exact
+  water-filling for homogeneous bags, outage-aware generalisation, heap
+  for the general case).
+* :class:`~repro.vector.census.VectorCensus` — struct-of-arrays census
+  with the event tier's grace-window liveness and metric names.
 """
 
+from repro.vector.census import VectorCensus
 from repro.vector.executor import (
     ExecutionOutcome,
     makespan_heap,
+    makespan_under_outages,
     makespan_waterfill,
     per_task_wall_seconds,
 )
 from repro.vector.population import VectorJobResult, VectorOddCI, VectorPopulation
+from repro.vector.system import VectorJobReport, VectorOddCISystem
 
 __all__ = [
     "ExecutionOutcome",
     "makespan_waterfill",
+    "makespan_under_outages",
     "makespan_heap",
     "per_task_wall_seconds",
+    "VectorCensus",
     "VectorPopulation",
     "VectorOddCI",
     "VectorJobResult",
+    "VectorJobReport",
+    "VectorOddCISystem",
 ]

@@ -1,0 +1,144 @@
+"""Columnar census for the vector tier.
+
+The event tier's Controller keeps a :class:`ColumnarCensusStore` keyed
+by interned PNA ids; at 10⁷+ nodes the population indices *are* the
+dense ids, so the vector census holds the same struct-of-arrays layout
+(state / last-seen / instance columns, :data:`STATE_NONE` and the
+``-inf`` never-seen sentinel from :mod:`repro.core.census`) directly
+over population rows and computes every gauge as an array reduction via
+:func:`repro.core.census.registry_reductions` — same metric names
+(``census.registry_size`` / ``census.idle`` / ``census.alive``,
+``census.heartbeats``), same grace-window liveness convention (a node
+is alive when seen within ``grace`` of now).
+
+Self-healing works exactly like the event tier's controller-crash
+recovery: :meth:`clear` wipes the columns (the census reads zero, so
+availability accounting sees downtime) and the next heartbeat epoch
+repopulates them from the live fleet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.census import (
+    STATE_BUSY,
+    STATE_IDLE,
+    STATE_NONE,
+    _NEVER,
+    registry_reductions,
+)
+from repro.errors import ConfigurationError
+from repro.telemetry import trace as telemetry
+
+__all__ = ["VectorCensus"]
+
+_NO_INSTANCE = -1
+
+
+class VectorCensus:
+    """Struct-of-arrays census over ``n`` population rows.
+
+    Parameters
+    ----------
+    n:
+        Population size (row *index* is the node id).
+    grace_s:
+        Liveness horizon: a node counts as alive when its last heartbeat
+        is within ``grace_s`` of the consolidation instant (the event
+        tier uses 3x the heartbeat interval; callers pass the same).
+    """
+
+    def __init__(self, n: int, *, grace_s: float) -> None:
+        if n <= 0:
+            raise ConfigurationError(f"n must be > 0, got {n}")
+        if grace_s <= 0:
+            raise ConfigurationError(f"grace_s must be > 0, got {grace_s}")
+        self.n = int(n)
+        self.grace_s = float(grace_s)
+        self.state = np.full(self.n, STATE_NONE, dtype=np.int8)
+        self.seen = np.full(self.n, _NEVER, dtype=float)
+        self.instance = np.full(self.n, _NO_INSTANCE, dtype=np.int64)
+        #: Last reductions computed by :meth:`consolidate`.
+        self.gauges: Dict[str, int] = {
+            "registry_size": 0, "idle": 0, "alive": 0}
+        metrics = telemetry.metrics_registry()
+        if metrics is None:
+            self._m_heartbeats = None
+            self._m_registry = self._m_idle = self._m_alive = None
+        else:
+            self._m_heartbeats = metrics.counter("census.heartbeats")
+            self._m_registry = metrics.gauge("census.registry_size")
+            self._m_idle = metrics.gauge("census.idle")
+            self._m_alive = metrics.gauge("census.alive")
+
+    # -- writes ------------------------------------------------------------
+    def observe(self, indices: np.ndarray, state: int,
+                instance: int, now: float) -> None:
+        """Record a state transition for ``indices`` (vector analogue of
+        the per-payload ``touch``)."""
+        if state not in (STATE_NONE, STATE_IDLE, STATE_BUSY):
+            raise ConfigurationError(f"unknown census state {state}")
+        self.state[indices] = state
+        self.seen[indices] = now
+        self.instance[indices] = (
+            instance if state == STATE_BUSY else _NO_INSTANCE)
+
+    def heartbeat(self, indices: np.ndarray, now: float) -> None:
+        """One heartbeat batch: refresh last-seen for ``indices``."""
+        self.seen[indices] = now
+        m = self._m_heartbeats
+        if m is not None:
+            m.value += int(np.size(indices))
+
+    def drop(self, indices: np.ndarray) -> None:
+        """Evict ``indices`` (powered-off victims leave the registry)."""
+        self.state[indices] = STATE_NONE
+        self.seen[indices] = _NEVER
+        self.instance[indices] = _NO_INSTANCE
+
+    def clear(self) -> None:
+        """Controller-crash semantics: the census restarts empty and the
+        next heartbeat epoch repopulates it."""
+        self.state[:] = STATE_NONE
+        self.seen[:] = _NEVER
+        self.instance[:] = _NO_INSTANCE
+
+    # -- reads -------------------------------------------------------------
+    def consolidate(self, now: float) -> Dict[str, int]:
+        """Array-reduction gauges at ``now`` (and push them to the
+        ambient metrics registry, like a Controller maintenance round)."""
+        out = registry_reductions(self.state, self.seen,
+                                  horizon=now - self.grace_s)
+        self.gauges = out
+        if self._m_registry is not None:
+            self._m_registry.set(out["registry_size"])
+            self._m_idle.set(out["idle"])
+            self._m_alive.set(out["alive"])
+        return out
+
+    def instance_size(self, instance: int, now: float) -> int:
+        """Members of ``instance`` seen within the grace window."""
+        horizon = now - self.grace_s
+        return int(np.count_nonzero(
+            (self.instance == instance) & (self.seen >= horizon)))
+
+    def validate(self) -> None:
+        """Numpy-boundary self-checks (mirrors the columnar store)."""
+        n = self.n
+        assert self.state.shape == (n,) and self.state.dtype == np.int8
+        assert self.seen.shape == (n,) and self.seen.dtype == np.float64
+        assert self.instance.shape == (n,) \
+            and self.instance.dtype == np.int64
+        absent = self.state == STATE_NONE
+        assert (self.seen[absent] == _NEVER).all(), \
+            "absent nodes must read never-seen"
+        assert (self.instance[self.state != STATE_BUSY]
+                == _NO_INSTANCE).all(), \
+            "only busy nodes carry an instance id"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<VectorCensus n={self.n} "
+                f"registry={self.gauges['registry_size']}>")

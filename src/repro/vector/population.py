@@ -1,20 +1,30 @@
 """Vectorised receiver populations and end-to-end OddCI-DTV runs.
 
-A :class:`VectorPopulation` holds the state of up to tens of millions of
-receivers as NumPy arrays (power mode, idle/busy, device factor) and
-implements the wakeup semantics in bulk: requirement filtering, the
-probability gate, carousel wakeup-latency sampling.
+A :class:`VectorPopulation` holds the state of up to hundreds of
+millions of receivers as NumPy arrays (power mode, idle/busy, link
+state, device factor) and implements the wakeup semantics in bulk:
+requirement filtering, the probability gate, carousel wakeup-latency
+sampling.
 
-:class:`VectorOddCI` composes a population with a carousel schedule and
-the vectorised executors to produce job makespans and efficiencies that
-mirror the event tier — the basis of the Figure 6/7 simulation
-cross-check and the scalability benchmark.
+Randomness follows the event tier's named-stream contract: construct
+with ``seed=`` and every stochastic component draws from its own
+SeedSequence-derived stream (``"vector.population"`` for the initial
+state, ``"vector.recruit"`` for the probability gate,
+``"vector.wakeup"`` for carousel phases, ``"vector.churn"`` for
+availability sampling, ``"vector.faults"`` for fault-plan jitter and
+victim selection).  The legacy positional-``rng`` constructor is kept
+for single-shot callers — it aliases every stream to the one generator,
+preserving the historical draw order exactly.
+
+:class:`VectorOddCI` is the legacy single-shot pipeline (one population,
+one job, release at the end); multi-job execution with faults, census
+and telemetry lives in :class:`~repro.vector.system.VectorOddCISystem`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -23,8 +33,10 @@ from repro.carousel.carousel import CarouselSchedule
 from repro.carousel.dsmcc import SectionFormat
 from repro.carousel.objects import CarouselFile
 from repro.net.message import bits_from_bytes
+from repro.sim.rng import derive_generator
 from repro.vector.executor import (
     ExecutionOutcome,
+    makespan_under_outages,
     makespan_waterfill,
     per_task_wall_seconds,
 )
@@ -35,10 +47,15 @@ from repro.workloads.devices import (
 )
 from repro.workloads.job import Job
 
-__all__ = ["VectorPopulation", "VectorJobResult", "VectorOddCI"]
+__all__ = ["STREAM_NAMES", "VectorPopulation", "VectorJobResult",
+           "VectorOddCI"]
 
 # Mode codes in the state arrays.
 _OFF, _STANDBY, _IN_USE = 0, 1, 2
+
+#: Named RNG streams a seeded population owns (sim/rng.py derivation:
+#: ``derive_generator(seed, "vector.<name>")``).
+STREAM_NAMES = ("population", "recruit", "wakeup", "churn", "faults")
 
 
 class VectorPopulation:
@@ -47,7 +64,14 @@ class VectorPopulation:
     Parameters
     ----------
     n:
-        Population size (tested to 10⁷).
+        Population size (tested to 10⁷; 10⁸ smoke).
+    rng:
+        Legacy single-stream generator.  When given, every named stream
+        aliases it (historical draw order); mutually exclusive with
+        ``seed``.
+    seed:
+        Master seed for the named streams (the event-tier contract;
+        required for ``--jobs`` byte-parity of vector scenarios).
     in_use_fraction:
         Fraction of powered receivers watching TV.
     powered_fraction:
@@ -60,8 +84,9 @@ class VectorPopulation:
     def __init__(
         self,
         n: int,
-        rng: np.random.Generator,
+        rng: Optional[np.random.Generator] = None,
         *,
+        seed: Optional[int] = None,
         in_use_fraction: float = 1.0,
         powered_fraction: float = 1.0,
         requirement_match_fraction: float = 1.0,
@@ -69,6 +94,9 @@ class VectorPopulation:
     ) -> None:
         if n <= 0:
             raise ConfigurationError(f"n must be > 0, got {n}")
+        if rng is not None and seed is not None:
+            raise ConfigurationError(
+                "pass either a legacy rng or seed=, not both")
         for name, frac in (("in_use_fraction", in_use_fraction),
                            ("powered_fraction", powered_fraction),
                            ("requirement_match_fraction",
@@ -76,19 +104,31 @@ class VectorPopulation:
             if not 0.0 <= frac <= 1.0:
                 raise ConfigurationError(f"{name} must be in [0, 1]")
         self.n = int(n)
-        self.rng = rng
+        self.seed = None if rng is not None else seed
+        if rng is not None:
+            self.streams: Dict[str, np.random.Generator] = {
+                name: rng for name in STREAM_NAMES}
+        else:
+            self.streams = {
+                name: derive_generator(seed, f"vector.{name}")
+                for name in STREAM_NAMES}
+        self.rng = self.streams["population"]
         self.profile = profile
-        powered = rng.random(self.n) < powered_fraction
-        in_use = rng.random(self.n) < in_use_fraction
+        init = self.rng
+        powered = init.random(self.n) < powered_fraction
+        in_use = init.random(self.n) < in_use_fraction
         self.mode = np.where(
             powered, np.where(in_use, _IN_USE, _STANDBY), _OFF
         ).astype(np.int8)
         self.busy = np.zeros(self.n, dtype=bool)
-        self.matches = rng.random(self.n) < requirement_match_fraction
-        in_use_factor = profile.factor(PowerMode.IN_USE)
-        standby_factor = profile.factor(PowerMode.STANDBY)
+        self.matches = init.random(self.n) < requirement_match_fraction
+        #: Link state column — fault plans partition links by flipping
+        #: these; a node with a down link cannot be recruited.
+        self.link_up = np.ones(self.n, dtype=bool)
+        self._in_use_factor = profile.factor(PowerMode.IN_USE)
+        self._standby_factor = profile.factor(PowerMode.STANDBY)
         self.device_factor = np.where(
-            self.mode == _IN_USE, in_use_factor, standby_factor
+            self.mode == _IN_USE, self._in_use_factor, self._standby_factor
         ).astype(float)
 
     # -- census -----------------------------------------------------------
@@ -104,18 +144,26 @@ class VectorPopulation:
     def busy_count(self) -> int:
         return int(self.busy.sum())
 
+    def eligible_mask(self) -> np.ndarray:
+        """Powered, idle, requirement-matching, link up."""
+        return ((self.mode != _OFF) & ~self.busy & self.matches
+                & self.link_up)
+
     # -- wakeup ------------------------------------------------------------
-    def recruit(self, probability: float) -> np.ndarray:
+    def recruit(self, probability: float, *,
+                rng: Optional[np.random.Generator] = None) -> np.ndarray:
         """Apply the wakeup gate; returns the indices of accepting nodes.
 
-        Eligible = powered, idle, requirement-matching; each accepts
-        independently with ``probability`` and flips to busy.
+        Eligible = powered, idle, requirement-matching, link up; each
+        accepts independently with ``probability`` and flips to busy.
+        Draws come from the ``"vector.recruit"`` stream unless an
+        explicit ``rng`` overrides it.
         """
         if not 0.0 < probability <= 1.0:
             raise ConfigurationError(
                 f"probability must be in (0, 1], got {probability}")
-        eligible = (self.mode != _OFF) & ~self.busy & self.matches
-        accept = eligible & (self.rng.random(self.n) < probability)
+        draw = self.streams["recruit"] if rng is None else rng
+        accept = self.eligible_mask() & (draw.random(self.n) < probability)
         self.busy |= accept
         return np.nonzero(accept)[0]
 
@@ -125,6 +173,42 @@ class VectorPopulation:
             self.busy[:] = False
         else:
             self.busy[indices] = False
+
+    # -- churn / fault state ops -------------------------------------------
+    def power_off(self, indices: np.ndarray) -> None:
+        """Correlated power-off (churn-storm victims): any running work
+        is dropped with the power."""
+        self.mode[indices] = _OFF
+        self.busy[indices] = False
+
+    def power_on(self, indices: np.ndarray, *, in_use: bool = False) -> None:
+        """Return nodes to the powered pool (standby unless ``in_use``)."""
+        mode = _IN_USE if in_use else _STANDBY
+        self.mode[indices] = mode
+        self.device_factor[indices] = (
+            self._in_use_factor if in_use else self._standby_factor)
+
+    def set_link(self, indices: np.ndarray, up: bool) -> None:
+        """Partition (or heal) the direct links of ``indices``."""
+        self.link_up[indices] = up
+
+    def validate(self) -> None:
+        """Shape/dtype/invariant assertions (mirrors the census stores'
+        numpy-boundary self-checks)."""
+        n = self.n
+        for name, column, dtype in (
+                ("mode", self.mode, np.int8),
+                ("busy", self.busy, np.bool_),
+                ("matches", self.matches, np.bool_),
+                ("link_up", self.link_up, np.bool_),
+                ("device_factor", self.device_factor, np.float64)):
+            assert column.shape == (n,), f"{name} shape {column.shape}"
+            assert column.dtype == dtype, f"{name} dtype {column.dtype}"
+        assert not (self.busy & (self.mode == _OFF)).any(), \
+            "powered-off nodes cannot be busy"
+        assert np.isin(self.mode, (_OFF, _STANDBY, _IN_USE)).all(), \
+            "unknown mode code"
+        assert (self.device_factor > 0).all(), "non-positive device factor"
 
 
 @dataclass(frozen=True)
@@ -140,12 +224,15 @@ class VectorJobResult:
 
 
 class VectorOddCI:
-    """Vectorised OddCI-DTV pipeline: wakeup + pull execution.
+    """Vectorised OddCI-DTV pipeline: wakeup + pull execution (legacy
+    single-shot API).
 
     Mirrors the event tier's DVE loop timing for homogeneous bags:
     per-task wall time = (s + r)/δ + p·device_factor; wakeup latency is
     sampled from the carousel schedule of a carousel carrying the PNA
-    Xlet, the config file and the job image.
+    Xlet, the config file and the job image.  No faults, no census, no
+    persistent clock — the multi-job peer of the event tier is
+    :class:`~repro.vector.system.VectorOddCISystem`.
     """
 
     def __init__(
@@ -205,7 +292,6 @@ class VectorOddCI:
 
         stats = job.stats()
         factors = pop.device_factor[recruited]
-        # Homogeneous-device fast path; otherwise bucket by factor.
         outcome = self._execute(ready, factors, job.n,
                                 stats.mean_ref_seconds, stats.mean_io_bits)
         makespan = outcome.finish_time  # origin = submission at t=0
@@ -225,7 +311,7 @@ class VectorOddCI:
     def rng_uniform_phases(self, sched: CarouselSchedule,
                            size: int) -> np.ndarray:
         """Uniform request times over one carousel cycle (steady state)."""
-        return self.population.rng.uniform(
+        return self.population.streams["wakeup"].uniform(
             0.0, sched.cycle_time, size=int(size))
 
     def _execute(
@@ -241,34 +327,8 @@ class VectorOddCI:
             d = per_task_wall_seconds(mean_ref_seconds, mean_io_bits,
                                       self.delta_bps, float(unique[0]))
             return makespan_waterfill(ready, n_tasks, d)
-        # Heterogeneous devices: generalised waterfill (binary search on
-        # the joint capacity function; finish snapped to the boundary —
-        # within one task duration of exact, adequate at this scale).
+        # Heterogeneous devices: generalised waterfill (shared solver,
+        # no outage windows).
         d_i = (mean_io_bits / self.delta_bps
                + mean_ref_seconds * factors)
-
-        def capacity(t: float) -> int:
-            return int(np.floor(
-                np.maximum(t - ready, 0.0) / d_i).sum())
-
-        lo = float((ready + d_i).min())
-        hi = float(ready.min()) + float(d_i.max()) * n_tasks
-        for _ in range(200):
-            if hi - lo <= max(1e-9, 1e-12 * hi):
-                break
-            mid = 0.5 * (lo + hi)
-            if capacity(mid) >= n_tasks:
-                hi = mid
-            else:
-                lo = mid
-        k = np.floor(np.maximum(hi - ready, 0.0) / d_i + 1e-9).astype(
-            np.int64)
-        active = k > 0
-        finish = float((ready[active] + k[active] * d_i[active]).max()) \
-            if active.any() else hi
-        return ExecutionOutcome(
-            finish_time=min(finish, hi) if active.any() else hi,
-            n_tasks=int(n_tasks),
-            n_nodes=int(ready.size),
-            tasks_per_node_max=int(k.max()) if active.any() else 0,
-        )
+        return makespan_under_outages(ready, n_tasks, d_i)

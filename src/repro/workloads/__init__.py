@@ -36,7 +36,9 @@ from repro.workloads.bot import (
     lognormal_bag,
     parametric_bag,
     phi_of_job,
+    BagSpec,
     uniform_bag,
+    uniform_bag_spec,
     weibull_bag,
 )
 from repro.workloads.devices import (
@@ -64,7 +66,9 @@ __all__ = [
     "Job",
     "Task",
     "JobStats",
+    "BagSpec",
     "uniform_bag",
+    "uniform_bag_spec",
     "lognormal_bag",
     "weibull_bag",
     "parametric_bag",

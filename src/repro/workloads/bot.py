@@ -14,16 +14,81 @@ import numpy as np
 
 from repro.errors import WorkloadError
 from repro.net.message import KILOBYTE, MEGABYTE
-from repro.workloads.job import Job, Task
+from repro.workloads.job import Job, JobStats, Task
 
 __all__ = [
+    "BagSpec",
     "uniform_bag",
+    "uniform_bag_spec",
     "lognormal_bag",
     "weibull_bag",
     "parametric_bag",
     "bag_from_phi",
     "phi_of_job",
 ]
+
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BagSpec:
+    """Constant-space stand-in for a uniform bag at vector scale.
+
+    A 10⁷-node vector run executes ~10⁸ identical tasks; materialising
+    that many :class:`~repro.workloads.job.Task` objects costs gigabytes
+    for information three floats carry.  ``BagSpec`` quacks like a
+    uniform :class:`~repro.workloads.job.Job` for everything the vector
+    tier reads (``n``, ``image_bits``, ``stats()``,
+    ``total_ref_seconds()``) without holding any task tuple; the event
+    tier keeps requiring a real Job (it dispatches individual tasks).
+    """
+
+    n_tasks: int
+    image_bits: float
+    input_bits: float
+    ref_seconds: float
+    result_bits: float
+    name: str = "uniform-bag-spec"
+
+    def __post_init__(self) -> None:
+        if self.n_tasks <= 0:
+            raise WorkloadError(f"n_tasks must be > 0, got {self.n_tasks}")
+        if self.image_bits <= 0 or self.ref_seconds <= 0:
+            raise WorkloadError("image_bits and ref_seconds must be > 0")
+        if self.input_bits < 0 or self.result_bits < 0:
+            raise WorkloadError("I/O sizes must be >= 0")
+
+    @property
+    def n(self) -> int:
+        return self.n_tasks
+
+    def stats(self) -> JobStats:
+        return JobStats(
+            n=self.n_tasks,
+            mean_input_bits=float(self.input_bits),
+            mean_ref_seconds=float(self.ref_seconds),
+            mean_result_bits=float(self.result_bits),
+        )
+
+    def total_ref_seconds(self) -> float:
+        return self.n_tasks * self.ref_seconds
+
+
+def uniform_bag_spec(
+    n: int,
+    *,
+    image_bits: float = 10 * MEGABYTE,
+    input_bits: float = KILOBYTE / 2,
+    ref_seconds: float = 1.0,
+    result_bits: float = KILOBYTE / 2,
+    name: str = "uniform-bag-spec",
+) -> BagSpec:
+    """The :func:`uniform_bag` parameters as a :class:`BagSpec` (same
+    defaults, no task materialisation)."""
+    return BagSpec(n_tasks=n, image_bits=image_bits,
+                   input_bits=input_bits, ref_seconds=ref_seconds,
+                   result_bits=result_bits, name=name)
 
 
 def uniform_bag(

@@ -1,8 +1,9 @@
 """Tier-1 determinism contract: ``--jobs N`` output is byte-identical
 to serial execution.
 
-Runs fig6 and the a3 heartbeat ablation at smoke scale with 1, 2 and 4
-workers and compares the persisted artifacts byte for byte.  The
+Runs fig6, the a3 heartbeat ablation, the service sweep and the
+vector_scale multi-job scenario at smoke scale with 1, 2 and 4 workers
+and compares the persisted artifacts byte for byte.  The
 parallel path really crosses the process boundary (ProcessPoolExecutor
 workers re-import the registry), so this also guards the picklability
 of the scenario call protocol.
@@ -14,7 +15,7 @@ import pytest
 
 from repro.runner import ArtifactStore, Runner
 
-SCENARIOS = ("fig6", "a3", "service_sweep")
+SCENARIOS = ("fig6", "a3", "service_sweep", "vector_scale")
 
 
 def _artifact_bytes(tmp_path, name, jobs, trace=None):

@@ -42,7 +42,7 @@ def test_trace_parallel_matches_serial_byte_for_byte(tmp_path, name, jobs):
     assert serial.trace_events is not None
     assert serial.meta["trace_categories"] == [
         "kernel", "net", "carousel", "control", "pna", "backend",
-        "fault", "serve", "runner"]
+        "fault", "serve", "vector", "runner"]
 
 
 def test_traced_run_has_runner_markers_and_metrics(tmp_path):

@@ -11,7 +11,7 @@ ALL_IDS = {
     "table1", "table2", "table3", "wakeup", "fig6", "fig7",
     "a1", "a2", "a3", "a4", "a5", "a6", "scalability", "fault_sweep",
     "federation_sweep", "service_sweep", "flash_crowd",
-    "sabotage_sweep",
+    "sabotage_sweep", "vector_scale",
 }
 
 
